@@ -1,0 +1,349 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation (§8).  One sub-benchmark per artifact:
+
+     fig7        verification time for four properties across the
+                 152-network enterprise fleet (§8.1, Figure 7)
+     violations  violation counts per property class (§8.1 text)
+     fig8        verification time for the property suite across
+                 folded-Clos data centers of increasing size (Figure 8)
+     opts        optimization ablation (§8.3): naive bit-vector
+                 encoding vs prefix hoisting vs hoisting+slicing
+     micro       Bechamel micro-benchmarks of the SMT substrate
+     all         everything above
+
+   Usage: dune exec bench/main.exe -- [fig7|fig8|opts|violations|micro|all] [--full]
+
+   By default the expensive sweeps are subsampled so the whole harness
+   finishes in minutes; pass --full for the complete paper-scale runs
+   (the largest fabrics take several minutes per query). *)
+
+module MS = Minesweeper
+module G = Generators
+module A = Config.Ast
+
+let full = ref false
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let outcome_str = function MS.Verify.Holds -> "verified" | MS.Verify.Violation _ -> "violated"
+
+(* ---------------- Figure 7: the enterprise fleet ---------------- *)
+
+(* The four §8.1 checks, each returning (outcome, milliseconds). *)
+let check_mgmt (t : G.Enterprise.t) =
+  let net = t.G.Enterprise.network in
+  let devices = List.map (fun (d : A.device) -> d.A.dev_name) net.A.net_devices in
+  let target = List.hd (List.rev devices) in
+  time (fun () ->
+      let enc = MS.Encode.build net MS.Options.default in
+      MS.Verify.check enc
+        (MS.Property.reachability enc ~sources:devices
+           (MS.Property.Subnet (target, t.G.Enterprise.mgmt_prefix target))))
+
+let check_equiv (t : G.Enterprise.t) =
+  match t.G.Enterprise.rack_role with
+  | r1 :: r2 :: _ ->
+    Some
+      (time (fun () ->
+           let enc = MS.Encode.build t.G.Enterprise.network MS.Options.default in
+           MS.Verify.check enc (MS.Property.acl_equivalence enc r1 r2)))
+  | _ -> None
+
+let check_blackholes (t : G.Enterprise.t) =
+  let allowed = t.G.Enterprise.edge_routers @ t.G.Enterprise.rack_role in
+  time (fun () ->
+      let enc = MS.Encode.build t.G.Enterprise.network MS.Options.default in
+      MS.Verify.check enc (MS.Property.no_blackholes enc ~allowed ()))
+
+(* Fault invariance over day-to-day (host-space) reachability, matching
+   the paper's all-router-pairs check; management reachability is the
+   separate hijack audit. *)
+let check_fault_invariance (t : G.Enterprise.t) =
+  let net = t.G.Enterprise.network in
+  let devices = List.map (fun (d : A.device) -> d.A.dev_name) net.A.net_devices in
+  let target, prefix =
+    match List.rev t.G.Enterprise.rack_role with
+    | r :: _ -> (r, t.G.Enterprise.rack_subnet r)
+    | [] ->
+      let d = List.hd (List.rev devices) in
+      (d, t.G.Enterprise.mgmt_prefix d)
+  in
+  time (fun () ->
+      MS.Verify.fault_invariant net MS.Options.default ~k:1 ~sources:devices
+        (MS.Property.Subnet (target, prefix)))
+
+let summarize name times =
+  match times with
+  | [] -> ()
+  | _ ->
+    let n = List.length times in
+    let total = List.fold_left ( +. ) 0.0 times in
+    let sorted = List.sort compare times in
+    Printf.printf
+      "  %-28s n=%-4d min=%8.1f ms  median=%8.1f ms  max=%8.1f ms  mean=%8.1f ms\n%!" name n
+      (List.nth sorted 0)
+      (List.nth sorted (n / 2))
+      (List.nth sorted (n - 1))
+      (total /. float_of_int n)
+
+let fleet_sample () =
+  let fleet = G.Enterprise.fleet () in
+  if !full then fleet else List.filteri (fun i _ -> i mod 4 = 0) fleet
+
+let fig7 () =
+  print_endline "== Figure 7: per-network verification time, enterprise fleet ==";
+  print_endline "   (rows sorted by configuration size, as in the paper)";
+  Printf.printf "   %-4s %-6s %12s %12s %12s\n%!" "rtrs" "lines" "mgmt-reach" "local-equiv"
+    "blackholes";
+  let nets = fleet_sample () in
+  let m_times = ref [] and e_times = ref [] and b_times = ref [] and f_times = ref [] in
+  List.iter
+    (fun (t : G.Enterprise.t) ->
+      let lines = Config.Printer.network_config_lines t.G.Enterprise.network in
+      let routers = List.length t.G.Enterprise.network.A.net_devices in
+      let _, mt = check_mgmt t in
+      m_times := mt :: !m_times;
+      let et =
+        match check_equiv t with
+        | Some (_, et) ->
+          e_times := et :: !e_times;
+          Printf.sprintf "%10.1f" et
+        | None -> "         -"
+      in
+      let _, bt = check_blackholes t in
+      b_times := bt :: !b_times;
+      Printf.printf "   %-4d %-6d %10.1f %12s %10.1f\n%!" routers lines mt et bt)
+    (List.sort
+       (fun a b ->
+         compare
+           (Config.Printer.network_config_lines a.G.Enterprise.network)
+           (Config.Printer.network_config_lines b.G.Enterprise.network))
+       nets);
+  (* fault-invariance doubles the encoding; sample it *)
+  let fi_nets = List.filteri (fun i _ -> i mod 2 = 0) nets in
+  List.iter
+    (fun t ->
+      let _, ft = check_fault_invariance t in
+      f_times := ft :: !f_times)
+    fi_nets;
+  print_endline
+    "  -- summary (paper, 2-25 rtr networks: 2-60ms reach, 5-400ms equiv, <1.5s others) --";
+  summarize "management reachability" !m_times;
+  summarize "local equivalence" !e_times;
+  summarize "no blackholes" !b_times;
+  summarize "fault invariance" !f_times
+
+(* ---------------- §8.1 violation counts ---------------- *)
+
+let violations () =
+  print_endline "== Violations across the 152-network fleet (paper: 67 / 29 / 24 / 0) ==";
+  let fleet = G.Enterprise.fleet () in
+  let hijacks = ref 0 and equivs = ref 0 and holes = ref 0 and fault = ref 0 in
+  let checked_fi = ref 0 in
+  List.iteri
+    (fun i (t : G.Enterprise.t) ->
+      (match fst (check_mgmt t) with MS.Verify.Violation _ -> incr hijacks | MS.Verify.Holds -> ());
+      (match check_equiv t with
+       | Some (MS.Verify.Violation _, _) -> incr equivs
+       | Some (MS.Verify.Holds, _) | None -> ());
+      (match fst (check_blackholes t) with
+       | MS.Verify.Violation _ -> incr holes
+       | MS.Verify.Holds -> ());
+      if !full || i mod 8 = 0 then begin
+        incr checked_fi;
+        match fst (check_fault_invariance t) with
+        | MS.Verify.Violation _ -> incr fault
+        | MS.Verify.Holds -> ()
+      end;
+      if i mod 19 = 18 then Printf.printf "  ... %d/152 networks audited\n%!" (i + 1))
+    fleet;
+  Printf.printf "  management-interface hijacks : %d (paper: 67)\n" !hijacks;
+  Printf.printf "  local-equivalence violations : %d (paper: 29)\n" !equivs;
+  Printf.printf "  blackhole violations         : %d (paper: 24)\n" !holes;
+  Printf.printf "  fault-invariance violations  : %d of %d checked (paper: 0)\n%!" !fault
+    !checked_fi
+
+(* ---------------- Figure 8: folded-Clos sweep ---------------- *)
+
+let fig8_one pods =
+  let ft = G.Fattree.make ~pods in
+  let net = ft.G.Fattree.network in
+  let n = List.length net.A.net_devices in
+  Printf.printf "  -- %d pods (%d routers) --\n%!" pods n;
+  let dst_tor = List.hd ft.G.Fattree.tors in
+  let other_tors = List.filter (fun t -> t <> dst_tor) ft.G.Fattree.tors in
+  let dest = MS.Property.Subnet (dst_tor, ft.G.Fattree.tor_subnet dst_tor) in
+  (* ToRs of one pod other than the destination's, for the equal-length query *)
+  let other_pod_tors =
+    List.filter
+      (fun t ->
+        match String.split_on_char '_' t with
+        | [ _; p; _ ] -> p = "1"
+        | _ -> false)
+      ft.G.Fattree.tors
+  in
+  let run name prop =
+    let o, ms =
+      time (fun () ->
+          let enc = MS.Encode.build net MS.Options.default in
+          MS.Verify.check enc (prop enc))
+    in
+    Printf.printf "     %-28s %-9s %10.1f ms\n%!" name (outcome_str o) ms
+  in
+  run "no blackholes" (fun enc -> MS.Property.no_blackholes enc ~allowed:ft.G.Fattree.cores ());
+  run "multipath consistency" (fun enc -> MS.Property.multipath_consistency enc dest);
+  (match ft.G.Fattree.cores with
+   | c1 :: c2 :: _ ->
+     run "local consistency (spines)" (fun enc -> MS.Property.local_equivalence enc c1 c2)
+   | _ -> ());
+  run "single-ToR reachability" (fun enc ->
+      MS.Property.reachability enc ~sources:[ List.hd other_tors ] dest);
+  run "all-ToR reachability" (fun enc -> MS.Property.reachability enc ~sources:other_tors dest);
+  run "single-ToR bounded length" (fun enc ->
+      MS.Property.bounded_length enc ~sources:[ List.hd other_tors ] dest ~bound:4);
+  run "all-ToR bounded length" (fun enc ->
+      MS.Property.bounded_length enc ~sources:other_tors dest ~bound:4);
+  match other_pod_tors with
+  | _ :: _ :: _ ->
+    run "equal length (one pod)" (fun enc ->
+        MS.Property.equal_lengths enc ~sources:other_pod_tors dest)
+  | _ -> ()
+
+let fig8 () =
+  print_endline "== Figure 8: property verification time vs fabric size ==";
+  let sizes = if !full then [ 2; 4; 6; 8; 10 ] else [ 2; 4; 6 ] in
+  print_endline
+    (if !full then
+       "   (pods 2-10, i.e. 5-125 routers; the paper runs 2-18 pods on Z3 - same shape, reduced scale)"
+     else "   (pods 2-6, i.e. 5-45 routers, by default; pass --full for pods 8-10)");
+  List.iter fig8_one sizes
+
+(* ---------------- §8.3 optimization ablation ---------------- *)
+
+let opts_bench () =
+  print_endline "== \xc2\xa78.3: optimization effectiveness (single-source reachability) ==";
+  let scenarios =
+    [
+      ("fattree pods=2 (5 rtrs)", (G.Fattree.make ~pods:2).G.Fattree.network, "tor_0_0", "tor_1_0");
+      ("fattree pods=4 (20 rtrs)", (G.Fattree.make ~pods:4).G.Fattree.network, "tor_0_0", "tor_1_0");
+    ]
+  in
+  let variants =
+    [
+      ("naive (bit-vector prefixes)", MS.Options.naive);
+      ("+ prefix hoisting", { MS.Options.naive with MS.Options.hoist_prefixes = true });
+      ("+ slicing and merging", MS.Options.default);
+    ]
+  in
+  List.iter
+    (fun (name, net, src, dst_tor) ->
+      Printf.printf "  -- %s --\n%!" name;
+      let dst_prefix =
+        match String.split_on_char '_' dst_tor with
+        | [ _; p; i ] ->
+          Net.Prefix.make (Net.Ipv4.of_octets 10 (int_of_string p) (int_of_string i) 0) 24
+        | _ -> assert false
+      in
+      let baseline = ref None in
+      List.iter
+        (fun (vname, opts) ->
+          let o, ms =
+            time (fun () ->
+                let enc = MS.Encode.build net opts in
+                MS.Verify.check enc
+                  (MS.Property.reachability enc ~sources:[ src ]
+                     (MS.Property.Subnet (dst_tor, dst_prefix))))
+          in
+          let speedup =
+            match !baseline with
+            | None ->
+              baseline := Some ms;
+              ""
+            | Some b -> Printf.sprintf "  (%.1fx vs naive)" (b /. ms)
+          in
+          Printf.printf "     %-30s %-9s %10.1f ms%s\n%!" vname (outcome_str o) ms speedup)
+        variants)
+    scenarios;
+  print_endline "  (paper: hoisting ~200x on average, slicing a further ~2.3x, up to 460x total)"
+
+(* ---------------- Bechamel micro-benchmarks ---------------- *)
+
+let micro () =
+  print_endline "== SMT substrate micro-benchmarks (Bechamel, monotonic clock) ==";
+  let open Bechamel in
+  let sat_test =
+    Test.make ~name:"sat: pigeonhole 5 into 4"
+      (Staged.stage (fun () ->
+           let s = Smt.Sat.create () in
+           let v = Array.init 5 (fun _ -> Array.init 4 (fun _ -> Smt.Sat.new_var s)) in
+           for p = 0 to 4 do
+             Smt.Sat.add_clause s (List.init 4 (fun h -> Smt.Sat.pos_lit v.(p).(h)))
+           done;
+           for h = 0 to 3 do
+             for p1 = 0 to 4 do
+               for p2 = p1 + 1 to 4 do
+                 Smt.Sat.add_clause s [ Smt.Sat.neg_lit v.(p1).(h); Smt.Sat.neg_lit v.(p2).(h) ]
+               done
+             done
+           done;
+           ignore (Smt.Sat.solve s)))
+  in
+  let idl_test =
+    Test.make ~name:"idl: 200-var chain"
+      (Staged.stage (fun () ->
+           let cs = List.init 199 (fun i -> { Smt.Idl.x = i + 1; y = i; k = 1; tag = i }) in
+           ignore (Smt.Idl.check ~nvars:200 cs)))
+  in
+  let encode_test =
+    Test.make ~name:"encode: fattree pods=4"
+      (Staged.stage (fun () ->
+           let ft = G.Fattree.make ~pods:4 in
+           ignore (MS.Encode.build ft.G.Fattree.network MS.Options.default)))
+  in
+  let run_test t =
+    let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+    let measure = Toolkit.Instance.monotonic_clock in
+    let raw = Benchmark.all cfg [ measure ] t in
+    let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+    let results = Analyze.all ols measure raw in
+    Hashtbl.iter
+      (fun name r ->
+        match Analyze.OLS.estimates r with
+        | Some (est :: _) -> Printf.printf "  %-28s %14.1f ns/run\n%!" name est
+        | Some [] | None -> ())
+      results
+  in
+  List.iter run_test [ sat_test; idl_test; encode_test ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  full := List.mem "--full" args;
+  let which =
+    match List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) (List.tl args) with
+    | [] -> "all"
+    | w :: _ -> w
+  in
+  let t0 = Unix.gettimeofday () in
+  (match which with
+   | "fig7" -> fig7 ()
+   | "fig8" -> fig8 ()
+   | "opts" -> opts_bench ()
+   | "violations" -> violations ()
+   | "micro" -> micro ()
+   | "all" ->
+     fig7 ();
+     print_newline ();
+     fig8 ();
+     print_newline ();
+     opts_bench ();
+     print_newline ();
+     violations ();
+     print_newline ();
+     micro ()
+   | other ->
+     Printf.eprintf "unknown benchmark %s (fig7|fig8|opts|violations|micro|all)\n" other;
+     exit 2);
+  Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,209 @@
+(* Command-line interface: verify properties of configuration files,
+   simulate the control plane, and generate synthetic networks.
+
+   Examples:
+     minesweeper verify net.cfg --property reachability --source R1 \
+       --dst-device R2 --dst-prefix 10.2.0.0/24
+     minesweeper verify net.cfg --property blackholes --failures 1
+     minesweeper simulate net.cfg --trace R1:10.2.0.9
+     minesweeper gen fattree --pods 4
+     minesweeper gen enterprise --routers 12 --seed 7 --hijack *)
+
+open Cmdliner
+module MS = Minesweeper
+module A = Config.Ast
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_network path =
+  try Config.Parser.parse_network (read_file path) with
+  | Config.Parser.Parse_error { line; message } ->
+    Printf.eprintf "%s:%d: %s\n" path line message;
+    exit 2
+
+(* ---- common args ---- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG" ~doc:"Configuration file.")
+
+let opts_of naive failures =
+  let base = if naive then MS.Options.naive else MS.Options.default in
+  match failures with None -> base | Some k -> MS.Options.with_failures k base
+
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let property =
+    Arg.(
+      value
+      & opt (enum
+               [
+                 ("reachability", `Reachability);
+                 ("isolation", `Isolation);
+                 ("bounded-length", `Bounded);
+                 ("blackholes", `Blackholes);
+                 ("loops", `Loops);
+                 ("multipath-consistency", `Multipath);
+                 ("acl-equivalence", `Acl_equiv);
+                 ("local-equivalence", `Local_equiv);
+                 ("no-leak", `Leak);
+               ])
+          `Reachability
+      & info [ "property"; "p" ] ~doc:"Property to verify.")
+  in
+  let sources =
+    Arg.(value & opt (list string) [] & info [ "source"; "s" ] ~doc:"Source devices (default all).")
+  in
+  let dst_device =
+    Arg.(value & opt (some string) None & info [ "dst-device" ] ~doc:"Destination device.")
+  in
+  let dst_prefix =
+    Arg.(value & opt (some string) None & info [ "dst-prefix" ] ~doc:"Destination prefix.")
+  in
+  let bound = Arg.(value & opt int 4 & info [ "bound" ] ~doc:"Hop bound for bounded-length.") in
+  let devices =
+    Arg.(value & opt (list string) [] & info [ "devices" ] ~doc:"Device pair for equivalence.")
+  in
+  let max_len = Arg.(value & opt int 24 & info [ "max-len" ] ~doc:"Max exported length for no-leak.") in
+  let failures =
+    Arg.(value & opt (some int) None & info [ "failures"; "k" ] ~doc:"Verify under up to $(docv) link failures.")
+  in
+  let naive = Arg.(value & flag & info [ "naive" ] ~doc:"Disable the optimizations of \xc2\xa76.") in
+  let allowed =
+    Arg.(value & opt (list string) [] & info [ "allowed" ] ~doc:"Devices allowed to drop (blackholes).")
+  in
+  let run file property sources dst_device dst_prefix bound devices max_len failures naive allowed =
+    let net = load_network file in
+    let opts = opts_of naive failures in
+    let enc = MS.Encode.build net opts in
+    let all_devices = MS.Encode.devices enc in
+    let sources = if sources = [] then all_devices else sources in
+    let dest () =
+      match (dst_device, dst_prefix) with
+      | Some d, Some p -> MS.Property.Subnet (d, Net.Prefix.of_string p)
+      | Some d, None -> MS.Property.Device d
+      | None, _ ->
+        prerr_endline "missing --dst-device";
+        exit 2
+    in
+    let prop =
+      match property with
+      | `Reachability -> MS.Property.reachability enc ~sources (dest ())
+      | `Isolation -> MS.Property.isolation enc ~sources (dest ())
+      | `Bounded -> MS.Property.bounded_length enc ~sources (dest ()) ~bound
+      | `Blackholes -> MS.Property.no_blackholes enc ~allowed ()
+      | `Loops -> MS.Property.no_loops enc ()
+      | `Multipath -> MS.Property.multipath_consistency enc (dest ())
+      | `Acl_equiv ->
+        (match devices with
+         | [ d1; d2 ] -> MS.Property.acl_equivalence enc d1 d2
+         | _ ->
+           prerr_endline "--devices d1,d2 required";
+           exit 2)
+      | `Local_equiv ->
+        (match devices with
+         | [ d1; d2 ] -> MS.Property.local_equivalence enc d1 d2
+         | _ ->
+           prerr_endline "--devices d1,d2 required";
+           exit 2)
+      | `Leak -> MS.Property.no_leak enc ~max_len
+    in
+    match MS.Verify.check_with_stats enc prop with
+    | MS.Verify.Holds, st ->
+      Printf.printf "verified (SAT vars %d, clauses %d, conflicts %d)\n" st.Smt.Solver.sat_vars
+        st.sat_clauses st.conflicts;
+      exit 0
+    | MS.Verify.Violation cx, _ ->
+      print_endline "VIOLATED - counterexample:";
+      print_string (MS.Counterexample.to_string cx);
+      exit 1
+  in
+  Cmd.v (Cmd.info "verify" ~doc:"Verify a property of a configuration.")
+    Term.(
+      const run $ file_arg $ property $ sources $ dst_device $ dst_prefix $ bound $ devices
+      $ max_len $ failures $ naive $ allowed)
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~doc:"Trace SRC:DSTIP through the network.")
+  in
+  let ribs = Arg.(value & flag & info [ "ribs" ] ~doc:"Print every device's routes.") in
+  let run file trace ribs =
+    let net = load_network file in
+    let state = Routing.Simulator.run net Routing.Simulator.empty_env in
+    if not (Routing.Simulator.converged state) then
+      prerr_endline "warning: simulation did not converge";
+    if ribs then
+      List.iter
+        (fun (d : A.device) ->
+          Printf.printf "%s:\n" d.A.dev_name;
+          List.iter
+            (fun r -> Format.printf "  %a@." Routing.Route.pp r)
+            (Routing.Simulator.overall_rib state d.A.dev_name))
+        net.A.net_devices;
+    match trace with
+    | None -> ()
+    | Some spec ->
+      (match String.split_on_char ':' spec with
+       | [ src; dst ] ->
+         let t = Routing.Dataplane.trace net state ~src ~dst:(Net.Ipv4.of_string dst) in
+         Format.printf "%a@." Routing.Dataplane.pp_trace t
+       | _ ->
+         prerr_endline "--trace expects SRC:DSTIP";
+         exit 2)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run the concrete control-plane simulator.")
+    Term.(const run $ file_arg $ trace $ ribs)
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let kind =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("fattree", `Fattree); ("enterprise", `Enterprise) ])) None
+      & info [] ~docv:"KIND" ~doc:"fattree or enterprise.")
+  in
+  let pods = Arg.(value & opt int 4 & info [ "pods" ] ~doc:"Fat-tree pods (even).") in
+  let routers = Arg.(value & opt int 8 & info [ "routers" ] ~doc:"Enterprise router count.") in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Generator seed.") in
+  let hijack = Arg.(value & flag & info [ "hijack" ] ~doc:"Inject the management-hijack bug.") in
+  let acl_gap = Arg.(value & flag & info [ "acl-gap" ] ~doc:"Inject the ACL-inconsistency bug.") in
+  let deep = Arg.(value & flag & info [ "deep-drop" ] ~doc:"Inject the deep blackhole bug.") in
+  let run kind pods routers seed hijack acl_gap deep =
+    let net =
+      match kind with
+      | `Fattree -> (Generators.Fattree.make ~pods).Generators.Fattree.network
+      | `Enterprise ->
+        (Generators.Enterprise.make ~seed ~routers
+           ~inject:{ Generators.Enterprise.hijack; acl_gap; deep_drop = deep }
+           ())
+          .Generators.Enterprise.network
+    in
+    print_string (Config.Printer.network_to_string net)
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic network configuration.")
+    Term.(const run $ kind $ pods $ routers $ seed $ hijack $ acl_gap $ deep)
+
+(* ---- parse ---- *)
+
+let parse_cmd =
+  let run file =
+    let net = load_network file in
+    Printf.printf "devices: %d, links: %d, config lines: %d\n"
+      (List.length net.A.net_devices)
+      (Net.Topology.num_links net.A.net_topology)
+      (Config.Printer.network_config_lines net)
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse and summarize a configuration.") Term.(const run $ file_arg)
+
+let () =
+  let doc = "Network configuration verification (Minesweeper reproduction)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "minesweeper" ~doc) [ verify_cmd; simulate_cmd; gen_cmd; parse_cmd ]))

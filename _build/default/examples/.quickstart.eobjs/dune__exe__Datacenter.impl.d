@@ -1,0 +1,1 @@
+examples/datacenter.ml: Array Config Generators List Minesweeper Net Printf String Sys Unix

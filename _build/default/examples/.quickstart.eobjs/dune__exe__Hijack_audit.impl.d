@@ -1,0 +1,1 @@
+examples/hijack_audit.ml: Array Config Generators List Minesweeper Net Printf Sys

@@ -1,0 +1,1 @@
+examples/paper_example.ml: Config List Minesweeper Net Printf Smt

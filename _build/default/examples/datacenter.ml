@@ -1,0 +1,56 @@
+(* Data-center verification (the Figure 8 scenario at small scale):
+   generate a folded-Clos fabric running eBGP with multipath, then check
+   the properties the paper evaluates - reachability, bounded path
+   length ("no valley routing"), equal-length paths, and multipath
+   consistency.
+
+   Run with: dune exec examples/datacenter.exe -- [pods] *)
+
+module MS = Minesweeper
+module G = Generators
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let report name (outcome, ms) =
+  Printf.printf "  %-28s %-10s %8.1f ms\n%!" name
+    (match outcome with MS.Verify.Holds -> "verified" | MS.Verify.Violation _ -> "VIOLATED")
+    ms
+
+let () =
+  let pods =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 4
+  in
+  let ft = G.Fattree.make ~pods in
+  Printf.printf "folded-Clos fabric: %d pods, %d routers, %d links\n%!" pods
+    (List.length ft.G.Fattree.network.Config.Ast.net_devices)
+    (Net.Topology.num_links ft.G.Fattree.network.Config.Ast.net_topology);
+  let dst_tor = List.hd ft.G.Fattree.tors in
+  let sources = List.filter (fun t -> t <> dst_tor) ft.G.Fattree.tors in
+  let dest = MS.Property.Subnet (dst_tor, ft.G.Fattree.tor_subnet dst_tor) in
+  Printf.printf "destination: %s (%s)\n%!" dst_tor
+    (Net.Prefix.to_string (ft.G.Fattree.tor_subnet dst_tor));
+  let check name prop =
+    let enc = MS.Encode.build ft.G.Fattree.network MS.Options.default in
+    report name (time (fun () -> MS.Verify.check enc (prop enc)))
+  in
+  check "all-ToR reachability" (fun enc -> MS.Property.reachability enc ~sources dest);
+  check "bounded length (4 hops)" (fun enc ->
+      MS.Property.bounded_length enc ~sources dest ~bound:4);
+  (* equal lengths only across ToRs of one pod away from the destination
+     (same-pod ToRs are legitimately closer) *)
+  let other_pod_tors =
+    List.filter
+      (fun t -> match String.split_on_char '_' t with [ _; p; _ ] -> p = "1" | _ -> false)
+      ft.G.Fattree.tors
+  in
+  (match other_pod_tors with
+   | _ :: _ :: _ ->
+     check "equal-length paths (pod 1)" (fun enc ->
+         MS.Property.equal_lengths enc ~sources:other_pod_tors dest)
+   | _ -> ());
+  check "multipath consistency" (fun enc -> MS.Property.multipath_consistency enc dest);
+  check "no blackholes" (fun enc ->
+      MS.Property.no_blackholes enc ~allowed:ft.G.Fattree.cores ())

@@ -1,0 +1,47 @@
+(* Security audit in the style of §8.1: scan a fleet of enterprise
+   networks for management interfaces that an external neighbor could
+   hijack with crafted announcements, and print the offending
+   announcement for each violation.
+
+   Run with: dune exec examples/hijack_audit.exe -- [count] *)
+
+module MS = Minesweeper
+module G = Generators
+module A = Config.Ast
+
+let () =
+  let count = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 6 in
+  (* a slice of the 152-network fleet: mixed clean and buggy networks *)
+  let networks =
+    List.filteri (fun i _ -> i mod (152 / count) = 0) (G.Enterprise.fleet ())
+  in
+  let audited = ref 0 and violations = ref 0 in
+  List.iter
+    (fun (t : G.Enterprise.t) ->
+      incr audited;
+      let net = t.G.Enterprise.network in
+      let devices = List.map (fun (d : A.device) -> d.A.dev_name) net.A.net_devices in
+      (* check the management interface of the "farthest" device *)
+      let target = List.hd (List.rev devices) in
+      let enc = MS.Encode.build net MS.Options.default in
+      let prop =
+        MS.Property.reachability enc ~sources:devices
+          (MS.Property.Subnet (target, t.G.Enterprise.mgmt_prefix target))
+      in
+      let lines = Config.Printer.network_config_lines net in
+      match MS.Verify.check enc prop with
+      | MS.Verify.Holds ->
+        Printf.printf "network %2d (%2d routers, %5d lines): management access verified\n%!"
+          !audited (List.length devices) lines
+      | MS.Verify.Violation cx ->
+        incr violations;
+        Printf.printf "network %2d (%2d routers, %5d lines): HIJACKABLE\n" !audited
+          (List.length devices) lines;
+        List.iter
+          (fun (a : MS.Counterexample.announcement) ->
+            Printf.printf "    %s <- %s announces a /%d covering %s\n" a.MS.Counterexample.cx_at
+              a.cx_peer a.cx_plen
+              (Net.Ipv4.to_string cx.MS.Counterexample.dst_ip))
+          cx.MS.Counterexample.announcements)
+    networks;
+  Printf.printf "\naudited %d networks: %d hijackable management planes\n" !audited !violations

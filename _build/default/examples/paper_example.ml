@@ -1,0 +1,141 @@
+(* The running example of the paper (Figure 2): three internal routers
+   running OSPF, R1 and R2 speaking eBGP to external neighbors N1-N3 and
+   iBGP to each other, with BGP redistributed into OSPF so that R3 can
+   reach external destinations.
+
+   R2 prefers routes through N3 over N2 over N1 (local preference set on
+   import); R1 demotes N3-tagged routes learned over iBGP.  The paper's
+   question: does S3 (behind R3) use N1 for external destinations even
+   when all three neighbors advertise?  The answer depends on reasoning
+   about interactions among all paths - exactly what the graph-based
+   encoding does.
+
+   Run with: dune exec examples/paper_example.exe *)
+
+module MS = Minesweeper
+module T = Smt.Term
+module P = Net.Prefix
+
+let config =
+  {|hostname R1
+interface e0
+ ip address 192.168.12.1/30
+interface e1
+ ip address 192.168.13.1/30
+interface n1
+ ip address 192.168.101.1/30
+interface s1
+ ip address 10.1.0.1/24
+route-map FROM_N1 permit 10
+ set local-preference 100
+route-map FROM_IBGP permit 10
+ match community 65000:3
+ set local-preference 90
+route-map FROM_IBGP permit 20
+!
+router bgp 65000
+ network 10.1.0.0/24
+ neighbor 192.168.101.2 remote-as 64601
+ neighbor 192.168.101.2 route-map FROM_N1 in
+ neighbor 192.168.12.2 remote-as 65000
+ neighbor 192.168.12.2 route-map FROM_IBGP in
+router ospf 1
+ network 192.168.0.0/16
+ network 10.1.0.0/24
+ redistribute bgp metric 20
+!
+hostname R2
+interface e0
+ ip address 192.168.12.2/30
+interface e1
+ ip address 192.168.23.1/30
+interface n2
+ ip address 192.168.102.1/30
+interface n3
+ ip address 192.168.103.1/30
+interface s2
+ ip address 10.2.0.1/24
+route-map FROM_N2 permit 10
+ set local-preference 120
+ set community 65000:2
+route-map FROM_N3 permit 10
+ set local-preference 130
+ set community 65000:3
+!
+router bgp 65000
+ network 10.2.0.0/24
+ neighbor 192.168.102.2 remote-as 64602
+ neighbor 192.168.102.2 route-map FROM_N2 in
+ neighbor 192.168.103.2 remote-as 64603
+ neighbor 192.168.103.2 route-map FROM_N3 in
+ neighbor 192.168.12.1 remote-as 65000
+router ospf 1
+ network 192.168.0.0/16
+ network 10.2.0.0/24
+ redistribute bgp metric 30
+!
+hostname R3
+interface e0
+ ip address 192.168.13.2/30
+interface e1
+ ip address 192.168.23.2/30
+interface s3
+ ip address 10.3.0.1/24
+router ospf 1
+ network 192.168.0.0/16
+ network 10.3.0.0/24
+|}
+
+let n1 = "peer:192.168.101.2"
+let n2 = "peer:192.168.102.2"
+let n3 = "peer:192.168.103.2"
+
+let all_announce enc =
+  (* every neighbor advertises a route for the destination *)
+  List.concat_map
+    (fun d ->
+      List.map
+        (fun (p, _) ->
+          let r = MS.Encode.env_record enc d p in
+          T.and_
+            [
+              r.MS.Sym_record.valid;
+              T.eq r.MS.Sym_record.metric (T.int_const 1);
+              T.eq r.MS.Sym_record.plen (T.int_const 8);
+            ])
+        (MS.Encode.external_peers enc d))
+    (MS.Encode.devices enc)
+
+let () =
+  let net = Config.Parser.parse_network config in
+  let enc = MS.Encode.build net MS.Options.default in
+  Printf.printf "encoded: %d assertions\n%!" (List.length (MS.Encode.assertions enc));
+  (* Destination: any external address (dst outside all internal space),
+     announced by all three neighbors with equal AS-path length. *)
+  let reach_n1, defs1 = MS.Property.reach_terms enc (MS.Property.External_peer n1) in
+  let reach_n2, defs2 = MS.Property.reach_terms enc (MS.Property.External_peer n2) in
+  let reach_n3, defs3 = MS.Property.reach_terms enc (MS.Property.External_peer n3) in
+  let external_dst =
+    List.concat_map
+      (fun d ->
+        List.map
+          (fun p -> T.not_ (MS.Packet.dst_in_prefix (MS.Encode.packet enc) p))
+          (MS.Encode.subnets enc d))
+      (MS.Encode.devices enc)
+  in
+  let prop =
+    {
+      MS.Property.instrumentation = defs1 @ defs2 @ defs3;
+      assumptions = all_announce enc @ external_dst;
+      goal =
+        T.and_
+          [ reach_n1 "R3"; T.not_ (reach_n2 "R3"); T.not_ (reach_n3 "R3") ];
+    }
+  in
+  match MS.Verify.check enc prop with
+  | MS.Verify.Holds ->
+    print_endline "verified: when N1, N2 and N3 all advertise, S3's traffic exits via N1";
+    print_endline "(R2 picks N3 for itself, R1 demotes the N3 route and so prefers N1)"
+  | MS.Verify.Violation cx ->
+    print_endline "violated - counterexample:";
+    print_string (MS.Counterexample.to_string cx)

@@ -1,0 +1,1 @@
+lib/config/ast.ml: List Net

@@ -1,0 +1,1 @@
+lib/config/parser.ml: Ast List Net Printf String

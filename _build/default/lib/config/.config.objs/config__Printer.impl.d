@@ -1,0 +1,1 @@
+lib/config/printer.ml: Ast Buffer List Net Printf String

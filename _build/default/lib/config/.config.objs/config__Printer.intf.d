@@ -1,0 +1,1 @@
+lib/config/printer.mli: Ast

@@ -1,0 +1,24 @@
+(** Parser for the Cisco-flavoured configuration language.
+
+    The language is line-oriented.  Top-level stanzas are introduced by
+    [hostname], [interface], [router bgp], [router ospf], [route-map],
+    and single-line commands ([ip prefix-list], [access-list],
+    [ip route]).  Lines consisting of ['!'] or blanks are separators.
+
+    A multi-device file contains several [hostname] stanzas; links
+    between devices are inferred from interfaces sharing a subnet, or
+    declared explicitly with [link <dev1> <if1> <dev2> <if2>] lines. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_device : string -> Ast.device
+(** Parse a single device configuration.
+    @raise Parse_error on malformed input. *)
+
+val parse_network : string -> Ast.network
+(** Parse a multi-device configuration file; topology from explicit
+    [link] lines plus subnet inference. *)
+
+val infer_topology : Ast.device list -> Net.Topology.t
+(** Link two devices whenever they own distinct addresses inside the
+    same connected subnet. *)

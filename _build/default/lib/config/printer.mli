@@ -1,0 +1,12 @@
+(** Render configurations back to the surface syntax.
+
+    [parse (print d)] yields a device equal to [d]; the printed form is
+    also used to measure "lines of configuration" in the benchmarks. *)
+
+val device_to_string : Ast.device -> string
+val network_to_string : Ast.network -> string
+
+val config_lines : Ast.device -> int
+(** Number of non-blank, non-comment configuration lines. *)
+
+val network_config_lines : Ast.network -> int

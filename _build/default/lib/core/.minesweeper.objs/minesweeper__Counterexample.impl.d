@@ -1,0 +1,1 @@
+lib/core/counterexample.ml: Encode Format List Net Nexthop Packet Smt String Sym_record

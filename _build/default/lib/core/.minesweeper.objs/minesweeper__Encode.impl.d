@@ -1,0 +1,1 @@
+lib/core/encode.ml: Config Features Filter Hashtbl List Net Nexthop Option Options Packet Printf Selection Smt Sym_record

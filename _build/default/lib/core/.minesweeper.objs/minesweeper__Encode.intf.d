@@ -1,0 +1,1 @@
+lib/core/encode.mli: Config Net Nexthop Options Packet Smt Sym_record

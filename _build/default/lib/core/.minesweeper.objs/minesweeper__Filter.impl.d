@@ -1,0 +1,1 @@
+lib/core/filter.ml: Config List Net Option Packet Smt Sym_record

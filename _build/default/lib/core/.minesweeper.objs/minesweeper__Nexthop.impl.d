@@ -1,0 +1,1 @@
+lib/core/nexthop.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/core/property.ml: Config Encode Exactnum Filter Hashtbl List Net Nexthop Option Packet Printf Smt Sym_record

@@ -1,0 +1,1 @@
+lib/core/selection.ml: List Smt Sym_record

@@ -1,0 +1,1 @@
+lib/core/sym_record.ml: Features List Net Options Packet Smt

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Counterexample Encode List Options Packet Property Smt Sym_record

@@ -1,0 +1,1 @@
+lib/core/verify.mli: Config Counterexample Encode Options Property Smt

@@ -1,0 +1,101 @@
+(** Decoding of satisfying assignments into human-readable
+    counterexamples: the concrete packet, the environment (external
+    announcements and failed links) and the resulting stable forwarding
+    state. *)
+
+module T = Smt.Term
+module Model = Smt.Model
+
+type announcement = {
+  cx_at : string;  (** receiving device *)
+  cx_peer : string;
+  cx_plen : int;
+  cx_metric : int;
+  cx_med : int;
+  cx_comms : Net.Community.t list;
+}
+
+type t = {
+  dst_ip : Net.Ipv4.t;
+  src_ip : Net.Ipv4.t;
+  dst_port : int;
+  announcements : announcement list;
+  failures : (string * string) list;
+  forwarding : (string * Nexthop.t) list;  (** active data-plane edges *)
+}
+
+let eval_int model term =
+  match Model.eval model term with
+  | Model.Int n -> n
+  | Model.Bv v -> v
+  | Model.Bool _ | Model.Rat _ -> 0
+
+let eval_bool model term = Model.eval_bool model term
+
+let decode (enc : Encode.t) (model : Model.t) : t =
+  let pkt = Encode.packet enc in
+  let announcements =
+    List.concat_map
+      (fun d ->
+        List.filter_map
+          (fun (p, _) ->
+            let r = Encode.env_record enc d p in
+            if eval_bool model r.Sym_record.valid then
+              Some
+                {
+                  cx_at = d;
+                  cx_peer = p;
+                  cx_plen = eval_int model r.Sym_record.plen;
+                  cx_metric = eval_int model r.Sym_record.metric;
+                  cx_med = eval_int model r.Sym_record.med;
+                  cx_comms =
+                    List.filter_map
+                      (fun (c, t) -> if eval_bool model t then Some c else None)
+                      r.Sym_record.comms;
+                }
+            else None)
+          (Encode.external_peers enc d))
+      (Encode.devices enc)
+  in
+  let failures =
+    List.filter_map
+      (fun (pair, v) -> if eval_bool model v then Some pair else None)
+      (Encode.failed_links enc)
+  in
+  let forwarding =
+    List.concat_map
+      (fun d ->
+        List.filter_map
+          (fun h -> if eval_bool model (Encode.datafwd enc d h) then Some (d, h) else None)
+          (Encode.hops enc d))
+      (Encode.devices enc)
+  in
+  {
+    dst_ip = eval_int model pkt.Packet.dst_ip;
+    src_ip = eval_int model pkt.Packet.src_ip;
+    dst_port = eval_int model pkt.Packet.dst_port;
+    announcements;
+    failures;
+    forwarding;
+  }
+
+let pp fmt t =
+  let open Format in
+  fprintf fmt "packet: dst=%s src=%s port=%d@." (Net.Ipv4.to_string t.dst_ip)
+    (Net.Ipv4.to_string t.src_ip) t.dst_port;
+  if t.announcements = [] then fprintf fmt "environment: no external announcements@."
+  else
+    List.iter
+      (fun a ->
+        fprintf fmt "announcement at %s from %s: /%d pathlen=%d med=%d%s@." a.cx_at a.cx_peer
+          a.cx_plen a.cx_metric a.cx_med
+          (match a.cx_comms with
+           | [] -> ""
+           | cs -> " comms=" ^ String.concat "," (List.map Net.Community.to_string cs)))
+      t.announcements;
+  List.iter (fun (a, b) -> fprintf fmt "failed link: %s -- %s@." a b) t.failures;
+  List.iter
+    (fun (d, h) -> fprintf fmt "fwd: %s -> %s@." d (Nexthop.to_string h))
+    t.forwarding
+
+let to_string t = Format.asprintf "%a" pp t

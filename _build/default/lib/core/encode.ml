@@ -1,0 +1,968 @@
+module T = Smt.Term
+module A = Config.Ast
+module Prefix = Net.Prefix
+module Ipv4 = Net.Ipv4
+
+(* Forwarding behaviour attached to a candidate record. *)
+type hop_spec =
+  | Fixed of Nexthop.t
+  | Inherit of A.protocol
+      (* redistributed route: forwards wherever the source protocol does *)
+  | Via_copy of string
+      (* iBGP-learned route: forwards per the IGP copy keyed by peer IP *)
+
+type candidate = { rec_ : Sym_record.t; hop : hop_spec; proto : A.protocol }
+
+type device_enc = {
+  dev : A.device;
+  mutable cand_bgp : candidate list;
+  mutable cand_ospf : candidate list;
+  mutable cand_direct : candidate list;
+  best_bgp : Sym_record.t option;
+  best_ospf : Sym_record.t option;
+  best_overall : Sym_record.t;
+}
+
+type t = {
+  net : A.network;
+  opts : Options.t;
+  feats : Features.t;
+  pkt : Packet.t;
+  suffix : string;
+  igp_only : bool;
+  mutable asserts : T.t list;
+  dev_enc : (string, device_enc) Hashtbl.t;
+  cf : (string * Nexthop.t, T.t) Hashtbl.t;
+  df : (string * Nexthop.t, T.t) Hashtbl.t;
+  failed_tbl : (string * string, T.t) Hashtbl.t;
+  ext_peers : (string, (string * Ipv4.t) list) Hashtbl.t;
+  env_tbl : (string * string, Sym_record.t) Hashtbl.t;
+  import_ext_tbl : (string * string, Sym_record.t) Hashtbl.t;
+  import_int_tbl : (string * string, Sym_record.t) Hashtbl.t;
+  export_ext_tbl : (string * string, Sym_record.t) Hashtbl.t;
+  copies : (string, t * (string, T.t) Hashtbl.t) Hashtbl.t;
+}
+
+let network t = t.net
+let options t = t.opts
+let packet t = t.pkt
+let assertions t = List.rev t.asserts
+let devices t = List.map (fun (d : A.device) -> d.A.dev_name) t.net.A.net_devices
+let emit t term = t.asserts <- term :: t.asserts
+
+let canonical a b = if a <= b then (a, b) else (b, a)
+
+let failed t a b =
+  match Hashtbl.find_opt t.failed_tbl (canonical a b) with Some v -> v | None -> T.fls
+
+let failed_links t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.failed_tbl []
+
+let best_overall t d = (Hashtbl.find t.dev_enc d).best_overall
+let best_bgp t d = (Hashtbl.find t.dev_enc d).best_bgp
+let best_ospf t d = (Hashtbl.find t.dev_enc d).best_ospf
+
+let external_peers t d = match Hashtbl.find_opt t.ext_peers d with Some l -> l | None -> []
+let env_record t d p = Hashtbl.find t.env_tbl (d, p)
+let import_from_external t d p = Hashtbl.find t.import_ext_tbl (d, p)
+
+let internal_imports t d =
+  Hashtbl.fold
+    (fun (dev, peer) r acc -> if dev = d then (peer, r) :: acc else acc)
+    t.import_int_tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+let export_to_external t d p = Hashtbl.find t.export_ext_tbl (d, p)
+
+let internal_neighbors t d =
+  List.sort_uniq compare
+    (List.map (fun (_, p, _) -> p) (Net.Topology.neighbors t.net.A.net_topology d))
+
+let subnets t d =
+  match A.find_device t.net d with Some dev -> A.connected_prefixes dev | None -> []
+
+let hops t d =
+  let ext = List.map (fun (p, _) -> Nexthop.To_external p) (external_peers t d) in
+  let ints = List.map (fun n -> Nexthop.To_device n) (internal_neighbors t d) in
+  (* static routes can point at external peers that are not BGP sessions *)
+  let static_ext =
+    match A.find_device t.net d with
+    | None -> []
+    | Some dev ->
+      List.filter_map
+        (fun (s : A.static_route) ->
+          match s.A.st_next_hop with
+          | Some hopip when A.device_of_ip t.net hopip = None ->
+            if List.exists (fun p -> Prefix.contains p hopip) (A.connected_prefixes dev) then
+              Some (Nexthop.To_external ("peer:" ^ Ipv4.to_string hopip))
+            else None
+          | Some _ | None -> None)
+        dev.A.dev_statics
+  in
+  Nexthop.To_deliver :: Nexthop.To_drop
+  :: List.sort_uniq Nexthop.compare (ints @ ext @ static_ext)
+
+let controlfwd t d h = match Hashtbl.find_opt t.cf (d, h) with Some v -> v | None -> T.fls
+let datafwd t d h = match Hashtbl.find_opt t.df (d, h) with Some v -> v | None -> T.fls
+
+(* -- record construction helpers --------------------------------------------------- *)
+
+let all_false_comms (feats : Features.t) = List.map (fun c -> (c, T.fls)) feats.Features.comm_scope
+
+let derived ~name ~valid ~plen ~prefix ~ad ~lp ~metric ~med ~bgp_internal ~comms : Sym_record.t =
+  {
+    Sym_record.name;
+    valid;
+    plen;
+    prefix;
+    ad;
+    lp;
+    metric;
+    med;
+    rid = T.int_const 0;
+    bgp_internal;
+    comms;
+  }
+
+let const_prefix_term t (p : Prefix.t) =
+  if t.opts.Options.hoist_prefixes then None
+  else Some (T.bv_const ~width:32 (Prefix.network p))
+
+(* A record representing a locally originated prefix. *)
+let origin_record t ~name ~(p : Prefix.t) ~ad ~metric =
+  derived ~name
+    ~valid:(Packet.dst_in_prefix t.pkt p)
+    ~plen:(T.int_const (Prefix.length p))
+    ~prefix:(const_prefix_term t p) ~ad:(T.int_const ad)
+    ~lp:(T.int_const Sym_record.default_lp) ~metric:(T.int_const metric) ~med:(T.int_const 0)
+    ~bgp_internal:T.fls
+    ~comms:(all_false_comms t.feats)
+
+(* -- BGP session discovery ------------------------------------------------------------ *)
+
+type session = {
+  s_dev : A.device;
+  s_nbr : A.bgp_neighbor;
+  s_peer : [ `Internal of string * bool | `External of string ];
+}
+
+let bgp_sessions t (dev : A.device) =
+  match dev.A.dev_bgp with
+  | None -> []
+  | Some bgp ->
+    List.map
+      (fun (n : A.bgp_neighbor) ->
+        match A.device_of_ip t.net n.A.nbr_ip with
+        | Some d2 when d2.A.dev_name <> dev.A.dev_name ->
+          let ibgp =
+            match d2.A.dev_bgp with Some b2 -> b2.A.bgp_asn = bgp.A.bgp_asn | None -> false
+          in
+          { s_dev = dev; s_nbr = n; s_peer = `Internal (d2.A.dev_name, ibgp) }
+        | Some _ | None ->
+          { s_dev = dev; s_nbr = n; s_peer = `External ("peer:" ^ Ipv4.to_string n.A.nbr_ip) })
+      bgp.A.bgp_neighbors
+
+(* The out-map [sender] applies when exporting toward internal [receiver]. *)
+let out_map_toward t (sender : A.device) (receiver : string) =
+  List.find_map
+    (fun s ->
+      match s.s_peer with
+      | `Internal (name, _) when name = receiver -> Some s.s_nbr.A.nbr_rm_out
+      | `Internal _ | `External _ -> None)
+    (bgp_sessions t sender)
+  |> Option.value ~default:None
+
+(* ==================== main construction ==================== *)
+
+(* Every encoding instance gets a unique name-space: term variables are
+   hash-consed globally by name, so two encodings of the same network
+   (e.g. with different options) must not share variable names. *)
+let encoding_counter = ref 0
+
+let rec build_general (net : A.network) (opts : Options.t) ~igp_only ~suffix ~dst_const
+    ~shared_failed : t =
+  incr encoding_counter;
+  let suffix = Printf.sprintf "%s#%d" suffix !encoding_counter in
+  let feats = Features.scan net ~slice:opts.Options.slice_unused in
+  let pkt = Packet.create opts ~suffix in
+  let t =
+    {
+      net;
+      opts;
+      feats;
+      pkt;
+      suffix;
+      igp_only;
+      asserts = [];
+      dev_enc = Hashtbl.create 64;
+      cf = Hashtbl.create 256;
+      df = Hashtbl.create 256;
+      failed_tbl = (match shared_failed with Some tbl -> tbl | None -> Hashtbl.create 64);
+      ext_peers = Hashtbl.create 16;
+      env_tbl = Hashtbl.create 16;
+      import_ext_tbl = Hashtbl.create 16;
+      import_int_tbl = Hashtbl.create 16;
+      export_ext_tbl = Hashtbl.create 16;
+      copies = Hashtbl.create 4;
+    }
+  in
+  emit t (Packet.well_formed pkt);
+  (match dst_const with Some ip -> emit t (Packet.dst_eq pkt ip) | None -> ());
+  (* external peers table *)
+  List.iter
+    (fun (dev : A.device) ->
+      let peers =
+        List.filter_map
+          (fun s ->
+            match s.s_peer with
+            | `External name -> Some (name, s.s_nbr.A.nbr_ip)
+            | `Internal _ -> None)
+          (bgp_sessions t dev)
+      in
+      Hashtbl.replace t.ext_peers dev.A.dev_name peers)
+    net.A.net_devices;
+  (* failure variables, allocated once by the outermost encoding *)
+  (match (shared_failed, opts.Options.max_failures) with
+   | None, Some k ->
+     let vars = ref [] in
+     let add_failure_var key =
+       if not (Hashtbl.mem t.failed_tbl key) then begin
+         let v = T.var (Printf.sprintf "failed.%s--%s" (fst key) (snd key)) Smt.Sort.Bool in
+         Hashtbl.replace t.failed_tbl key v;
+         vars := v :: !vars
+       end
+     in
+     List.iter
+       (fun (l : Net.Topology.link) ->
+         add_failure_var (canonical l.Net.Topology.a.device l.Net.Topology.b.device))
+       (Net.Topology.links net.A.net_topology);
+     if not opts.Options.fail_internal_only then
+       List.iter
+         (fun (dev : A.device) ->
+           List.iter
+             (fun (peer, _) -> add_failure_var (canonical dev.A.dev_name peer))
+             (external_peers t dev.A.dev_name))
+         net.A.net_devices;
+     if !vars <> [] then emit t (T.at_most k !vars)
+   | (Some _ | None), _ -> ());
+  (* iBGP copies (§4): one IGP-only encoding per distinct peering address *)
+  if (not igp_only) && t.feats.Features.any_ibgp then
+    List.iter
+      (fun (dev : A.device) ->
+        List.iter
+          (fun s ->
+            match s.s_peer with
+            | `Internal (_, true) ->
+              let key = Ipv4.to_string s.s_nbr.A.nbr_ip in
+              if not (Hashtbl.mem t.copies key) then begin
+                let copy =
+                  build_general net
+                    { opts with Options.max_failures = None }
+                    ~igp_only:true ~suffix:(suffix ^ "~" ^ key)
+                    ~dst_const:(Some s.s_nbr.A.nbr_ip) ~shared_failed:(Some t.failed_tbl)
+                in
+                let reach = reach_to_ip copy s.s_nbr.A.nbr_ip in
+                t.asserts <- copy.asserts @ t.asserts;
+                Hashtbl.replace t.copies key (copy, reach)
+              end
+            | `Internal (_, false) | `External _ -> ())
+          (bgp_sessions t dev))
+      net.A.net_devices;
+  (* best records *)
+  List.iter
+    (fun (dev : A.device) ->
+      let name field = Printf.sprintf "%s%s.%s" dev.A.dev_name suffix field in
+      let enc =
+        {
+          dev;
+          cand_bgp = [];
+          cand_ospf = [];
+          cand_direct = [];
+          best_bgp =
+            (if dev.A.dev_bgp <> None && not igp_only then
+               Some (Sym_record.fresh_best opts t.feats ~name:(name "bestBGP"))
+             else None);
+          best_ospf =
+            (if dev.A.dev_ospf <> None then
+               Some (Sym_record.fresh_best opts t.feats ~name:(name "bestOSPF"))
+             else None);
+          best_overall = Sym_record.fresh_best opts t.feats ~name:(name "best");
+        }
+      in
+      Hashtbl.replace t.dev_enc dev.A.dev_name enc)
+    net.A.net_devices;
+  List.iter (fun (dev : A.device) -> build_device_candidates t dev) net.A.net_devices;
+  List.iter (fun (dev : A.device) -> constrain_device t dev) net.A.net_devices;
+  List.iter (fun (dev : A.device) -> build_forwarding t dev) net.A.net_devices;
+  t
+
+(* Reachability toward a concrete address, used for iBGP session
+   viability inside copies. *)
+and reach_to_ip t ip =
+  let tbl = Hashtbl.create 16 in
+  let owner (dev : A.device) =
+    List.exists
+      (fun (i : A.interface) -> match i.A.if_ip with Some a -> Ipv4.equal a ip | None -> false)
+      dev.A.dev_interfaces
+  in
+  let attached (dev : A.device) =
+    List.exists (fun p -> Prefix.contains p ip) (A.connected_prefixes dev)
+  in
+  List.iter
+    (fun (dev : A.device) ->
+      let v =
+        T.var
+          (Printf.sprintf "canReach%s.%s.%s" t.suffix dev.A.dev_name (Ipv4.to_string ip))
+          Smt.Sort.Bool
+      in
+      Hashtbl.replace tbl dev.A.dev_name v)
+    t.net.A.net_devices;
+  List.iter
+    (fun (dev : A.device) ->
+      let d = dev.A.dev_name in
+      let v = Hashtbl.find tbl d in
+      if owner dev then emit t (T.iff v T.tru)
+      else begin
+        let base = if attached dev then [ datafwd t d Nexthop.To_deliver ] else [] in
+        let steps =
+          List.map
+            (fun n ->
+              match Hashtbl.find_opt tbl n with
+              | Some vn -> T.and_ [ datafwd t d (Nexthop.To_device n); vn ]
+              | None -> T.fls)
+            (internal_neighbors t d)
+        in
+        emit t (T.iff v (T.or_ (base @ steps)))
+      end)
+    t.net.A.net_devices;
+  tbl
+
+(* ---------------- candidates ---------------- *)
+
+and build_device_candidates t (dev : A.device) =
+  let enc = Hashtbl.find t.dev_enc dev.A.dev_name in
+  let d = dev.A.dev_name in
+  let nm fmt = Printf.ksprintf (fun s -> Printf.sprintf "%s%s.%s" d t.suffix s) fmt in
+  let connected =
+    List.filter_map
+      (fun (i : A.interface) ->
+        match i.A.if_prefix with
+        | Some p ->
+          Some
+            {
+              rec_ =
+                origin_record t ~name:(nm "conn.%s" i.A.if_name) ~p
+                  ~ad:(A.default_ad A.Pconnected) ~metric:0;
+              hop = Fixed Nexthop.To_deliver;
+              proto = A.Pconnected;
+            }
+        | None -> None)
+      dev.A.dev_interfaces
+  in
+  let static =
+    List.mapi
+      (fun idx (s : A.static_route) ->
+        let hop =
+          match (s.A.st_next_hop, s.A.st_interface) with
+          | None, (Some _ | None) -> Nexthop.To_drop
+          | Some hopip, _ ->
+            (match A.device_of_ip t.net hopip with
+             | Some d2 when d2.A.dev_name <> d -> Nexthop.To_device d2.A.dev_name
+             | Some _ -> Nexthop.To_deliver
+             | None ->
+               if List.exists (fun p -> Prefix.contains p hopip) (A.connected_prefixes dev) then
+                 Nexthop.To_external ("peer:" ^ Ipv4.to_string hopip)
+               else Nexthop.To_drop)
+        in
+        let base =
+          origin_record t ~name:(nm "static.%d" idx) ~p:s.A.st_prefix
+            ~ad:(A.default_ad A.Pstatic) ~metric:0
+        in
+        let valid =
+          match hop with
+          | Nexthop.To_device n -> T.and_ [ base.Sym_record.valid; T.not_ (failed t d n) ]
+          | Nexthop.To_external p -> T.and_ [ base.Sym_record.valid; T.not_ (failed t d p) ]
+          | Nexthop.To_deliver | Nexthop.To_drop -> base.Sym_record.valid
+        in
+        { rec_ = { base with Sym_record.valid }; hop = Fixed hop; proto = A.Pstatic })
+      dev.A.dev_statics
+  in
+  enc.cand_direct <- connected @ static;
+  (match dev.A.dev_ospf with
+   | None -> ()
+   | Some ocfg ->
+     let own =
+       List.filter_map
+         (fun (i : A.interface) ->
+           match i.A.if_prefix with
+           | Some p ->
+             Some
+               {
+                 rec_ =
+                   origin_record t ~name:(nm "ospf.net.%s" i.A.if_name) ~p
+                     ~ad:(A.default_ad A.Pospf) ~metric:0;
+                 hop = Fixed Nexthop.To_deliver;
+                 proto = A.Pospf;
+               }
+           | None -> None)
+         (A.ospf_interfaces dev)
+     in
+     let imports =
+       List.filter_map
+         (fun (local_if, peer_name, peer_if) ->
+           match A.find_device t.net peer_name with
+           | None -> None
+           | Some peer ->
+             let local_ok =
+               List.exists (fun (i : A.interface) -> i.A.if_name = local_if) (A.ospf_interfaces dev)
+             in
+             let peer_ok =
+               List.exists (fun (i : A.interface) -> i.A.if_name = peer_if) (A.ospf_interfaces peer)
+             in
+             if not (local_ok && peer_ok) then None
+             else begin
+               match Hashtbl.find_opt t.dev_enc peer_name with
+               | None -> None
+               | Some peer_enc ->
+                 (match peer_enc.best_ospf with
+                  | None -> None
+                  | Some peer_best ->
+                    let cost =
+                      match A.find_interface dev local_if with Some i -> i.A.if_cost | None -> 1
+                    in
+                    let r =
+                      derived
+                        ~name:(nm "ospf.in.%s" peer_name)
+                        ~valid:
+                          (T.and_ [ peer_best.Sym_record.valid; T.not_ (failed t d peer_name) ])
+                        ~plen:peer_best.Sym_record.plen ~prefix:peer_best.Sym_record.prefix
+                        ~ad:(T.int_const (A.default_ad A.Pospf))
+                        ~lp:(T.int_const Sym_record.default_lp)
+                        ~metric:(T.add peer_best.Sym_record.metric (T.int_const cost))
+                        ~med:(T.int_const 0) ~bgp_internal:T.fls
+                        ~comms:(all_false_comms t.feats)
+                    in
+                    Some { rec_ = r; hop = Fixed (Nexthop.To_device peer_name); proto = A.Pospf })
+             end)
+         (Net.Topology.neighbors t.net.A.net_topology d)
+     in
+     let redists =
+       List.filter_map
+         (fun (rd : A.redistribute) ->
+           if rd.A.rd_from = A.Pbgp && t.igp_only then None
+           else redistributed_candidates t enc ~into:A.Pospf rd)
+         ocfg.A.ospf_redistribute
+       |> List.concat
+     in
+     enc.cand_ospf <- own @ imports @ redists);
+  if not t.igp_only then begin
+    match dev.A.dev_bgp with
+    | None -> ()
+    | Some bgp ->
+      let originated =
+        List.filter_map
+          (fun p ->
+            let backed =
+              List.exists (fun cp -> Prefix.equal cp p) (A.connected_prefixes dev)
+              || List.exists
+                   (fun (s : A.static_route) -> Prefix.equal s.A.st_prefix p)
+                   dev.A.dev_statics
+            in
+            if not backed then None
+            else
+              Some
+                {
+                  rec_ =
+                    origin_record t
+                      ~name:(nm "bgp.net.%s" (Prefix.to_string p))
+                      ~p ~ad:(A.default_ad A.Pbgp) ~metric:0;
+                  hop = Fixed Nexthop.To_deliver;
+                  proto = A.Pbgp;
+                })
+          bgp.A.bgp_networks
+      in
+      let redists =
+        List.filter_map (fun rd -> redistributed_candidates t enc ~into:A.Pbgp rd)
+          bgp.A.bgp_redistribute
+        |> List.concat
+      in
+      let session_cands =
+        List.filter_map (fun s -> bgp_session_candidate t s) (bgp_sessions t dev)
+      in
+      enc.cand_bgp <- originated @ redists @ session_cands
+  end
+
+(* Redistribution from [rd.rd_from] into protocol [into].  The source is
+   the source protocol's best record (OSPF/BGP) or, for connected and
+   static, each direct candidate individually. *)
+and redistributed_candidates t enc ~into (rd : A.redistribute) =
+  let d = enc.dev.A.dev_name in
+  let target_ad = A.default_ad into in
+  let mk ~name ~(src : Sym_record.t) =
+    match into with
+    | A.Pospf ->
+      derived ~name ~valid:src.Sym_record.valid ~plen:src.Sym_record.plen
+        ~prefix:src.Sym_record.prefix ~ad:(T.int_const target_ad)
+        ~lp:(T.int_const Sym_record.default_lp)
+        ~metric:(T.int_const (Option.value rd.A.rd_metric ~default:20))
+        ~med:(T.int_const 0) ~bgp_internal:T.fls ~comms:(all_false_comms t.feats)
+    | A.Pbgp ->
+      derived ~name ~valid:src.Sym_record.valid ~plen:src.Sym_record.plen
+        ~prefix:src.Sym_record.prefix ~ad:(T.int_const target_ad)
+        ~lp:(T.int_const Sym_record.default_lp) ~metric:(T.int_const 0)
+        ~med:(T.int_const (Option.value rd.A.rd_metric ~default:0))
+        ~bgp_internal:T.fls ~comms:(all_false_comms t.feats)
+    | A.Pconnected | A.Pstatic -> invalid_arg "redistribution target must be OSPF or BGP"
+  in
+  let into_str = A.protocol_to_string into in
+  match rd.A.rd_from with
+  | A.Pconnected | A.Pstatic ->
+    Some
+      (List.filter_map
+         (fun c ->
+           if c.proto = rd.A.rd_from then
+             Some
+               {
+                 rec_ =
+                   mk
+                     ~name:
+                       (Printf.sprintf "%s%s.%s.redist.%s" d t.suffix into_str
+                          c.rec_.Sym_record.name)
+                     ~src:c.rec_;
+                 hop = c.hop;
+                 proto = into;
+               }
+           else None)
+         enc.cand_direct)
+  | A.Pospf ->
+    (match enc.best_ospf with
+     | None -> None
+     | Some src ->
+       Some
+         [
+           {
+             rec_ = mk ~name:(Printf.sprintf "%s%s.%s.redist.ospf" d t.suffix into_str) ~src;
+             hop = Inherit A.Pospf;
+             proto = into;
+           };
+         ])
+  | A.Pbgp ->
+    (match enc.best_bgp with
+     | None -> None
+     | Some src ->
+       Some
+         [
+           {
+             rec_ = mk ~name:(Printf.sprintf "%s%s.%s.redist.bgp" d t.suffix into_str) ~src;
+             hop = Inherit A.Pbgp;
+             proto = into;
+           };
+         ])
+
+and bgp_session_candidate t s =
+  let dev = s.s_dev in
+  let d = dev.A.dev_name in
+  let nm fmt = Printf.ksprintf (fun x -> Printf.sprintf "%s%s.%s" d t.suffix x) fmt in
+  match s.s_peer with
+  | `External peer ->
+    let env =
+      Sym_record.fresh t.opts t.feats
+        ~name:(Printf.sprintf "env%s.%s.%s" t.suffix d peer)
+        ~ad:(A.default_ad A.Pbgp) ~rid:0 ~bgp_internal:false
+    in
+    emit t (Sym_record.well_formed t.pkt env);
+    emit t
+      (T.implies env.Sym_record.valid
+         (T.and_
+            [
+              T.geq env.Sym_record.metric (T.int_const 0);
+              T.leq env.Sym_record.metric (T.int_const 254);
+              T.geq env.Sym_record.med (T.int_const 0);
+              T.leq env.Sym_record.med (T.int_const 65535);
+              T.eq env.Sym_record.lp (T.int_const Sym_record.default_lp);
+            ]));
+    Hashtbl.replace t.env_tbl (d, peer) env;
+    let pre =
+      {
+        env with
+        Sym_record.name = nm "bgp.pre.%s" peer;
+        metric = T.add env.Sym_record.metric (T.int_const 1);
+        valid = T.and_ [ env.Sym_record.valid; T.not_ (failed t d peer) ];
+      }
+    in
+    let imported =
+      apply_import t dev ~rm:s.s_nbr.A.nbr_rm_in ~src:pre ~name:(nm "bgp.in.%s" peer)
+        ~ad:(A.default_ad A.Pbgp) ~bgp_internal:false
+    in
+    Hashtbl.replace t.import_ext_tbl (d, peer) imported;
+    Some { rec_ = imported; hop = Fixed (Nexthop.To_external peer); proto = A.Pbgp }
+  | `Internal (peer_name, is_ibgp) ->
+    (match (A.find_device t.net peer_name, Hashtbl.find_opt t.dev_enc peer_name) with
+     | Some peer_dev, Some peer_enc ->
+       (match peer_enc.best_bgp with
+        | None -> None
+        | Some peer_best ->
+          let exported =
+            build_bgp_export t ~sender:peer_dev ~best:peer_best
+              ~out_map:(out_map_toward t peer_dev d) ~is_ibgp
+              ~name:(Printf.sprintf "%s%s.bgp.out.%s" peer_name t.suffix d)
+          in
+          let link_ok =
+            if is_ibgp then begin
+              match Hashtbl.find_opt t.copies (Ipv4.to_string s.s_nbr.A.nbr_ip) with
+              | Some (_, reach) ->
+                (match Hashtbl.find_opt reach d with Some v -> v | None -> T.tru)
+              | None -> T.tru
+            end
+            else T.not_ (failed t d peer_name)
+          in
+          let pre =
+            {
+              exported with
+              Sym_record.name = nm "bgp.pre.%s" peer_name;
+              valid = T.and_ [ exported.Sym_record.valid; link_ok ];
+            }
+          in
+          let imported =
+            apply_import t dev ~rm:s.s_nbr.A.nbr_rm_in ~src:pre
+              ~name:(nm "bgp.in.%s" peer_name)
+              ~ad:(if is_ibgp then A.ibgp_ad else A.default_ad A.Pbgp)
+              ~bgp_internal:is_ibgp
+          in
+          Hashtbl.replace t.import_int_tbl (d, peer_name) imported;
+          let hop =
+            if is_ibgp then Via_copy (Ipv4.to_string s.s_nbr.A.nbr_ip)
+            else Fixed (Nexthop.To_device peer_name)
+          in
+          Some { rec_ = imported; hop; proto = A.Pbgp })
+     | (Some _ | None), _ -> None)
+
+(* Import policy: a derived copy when there is no map (merge_filters),
+   a fresh record plus route-map constraints otherwise. *)
+and apply_import t (dev : A.device) ~rm ~(src : Sym_record.t) ~name ~ad ~bgp_internal =
+  match rm with
+  | None when t.opts.Options.merge_filters ->
+    {
+      src with
+      Sym_record.name;
+      ad = T.int_const ad;
+      bgp_internal = T.bool_const bgp_internal;
+    }
+  | _ ->
+    let dst = Sym_record.fresh t.opts t.feats ~name ~ad ~rid:0 ~bgp_internal in
+    emit t (Sym_record.well_formed t.pkt dst);
+    let rm_ast = Option.bind rm (A.find_route_map dev) in
+    List.iter (emit t) (Filter.route_map_constraints dev t.pkt ~rm:rm_ast ~pass:T.tru ~src ~dst);
+    dst
+
+(* Export from a BGP process toward a peer: iBGP re-export rules, metric
+   increment and attribute resets for eBGP, aggregation length rewrite,
+   and the neighbor's out-map. *)
+and build_bgp_export t ~(sender : A.device) ~(best : Sym_record.t) ~out_map ~is_ibgp ~name =
+  let bgp = Option.get sender.A.dev_bgp in
+  let sender_is_rr =
+    List.exists (fun (n : A.bgp_neighbor) -> n.A.nbr_rr_client) bgp.A.bgp_neighbors
+  in
+  let allow =
+    if is_ibgp then
+      if sender_is_rr then T.tru else T.not_ best.Sym_record.bgp_internal
+    else T.leq (T.add best.Sym_record.metric (T.int_const 1)) (T.int_const 255)
+  in
+  let pass = T.and_ [ best.Sym_record.valid; allow ] in
+  (* §4 aggregation: a route covered by an announced aggregate leaves
+     with the (shorter) aggregate length. *)
+  let plen_term =
+    match bgp.A.bgp_aggregates with
+    | [] -> best.Sym_record.plen
+    | aggs ->
+      let v = T.var (name ^ ".plen") Smt.Sort.Int in
+      let conds =
+        List.map
+          (fun (agg, _summary) ->
+            ( agg,
+              T.and_
+                [
+                  Packet.dst_in_prefix t.pkt agg;
+                  T.gt best.Sym_record.plen (T.int_const (Prefix.length agg));
+                ] ))
+          aggs
+      in
+      let rec chain prior = function
+        | [] ->
+          [ T.implies (T.and_ (List.map T.not_ prior)) (T.eq v best.Sym_record.plen) ]
+        | (agg, c) :: rest ->
+          T.implies
+            (T.and_ (c :: List.map T.not_ prior))
+            (T.eq v (T.int_const (Prefix.length agg)))
+          :: chain (c :: prior) rest
+      in
+      List.iter (emit t) (chain [] conds);
+      v
+  in
+  let pre =
+    if is_ibgp then
+      { best with Sym_record.name = name ^ ".pre"; valid = pass; plen = plen_term; bgp_internal = T.tru }
+    else
+      {
+        best with
+        Sym_record.name = name ^ ".pre";
+        valid = pass;
+        plen = plen_term;
+        metric = T.add best.Sym_record.metric (T.int_const 1);
+        lp = T.int_const Sym_record.default_lp;
+        med = T.int_const 0;
+        bgp_internal = T.fls;
+      }
+  in
+  match out_map with
+  | None when t.opts.Options.merge_filters -> pre
+  | _ ->
+    let dst =
+      Sym_record.fresh t.opts t.feats ~name ~ad:(A.default_ad A.Pbgp) ~rid:0
+        ~bgp_internal:is_ibgp
+    in
+    emit t (Sym_record.well_formed t.pkt dst);
+    let rm_ast = Option.bind out_map (A.find_route_map sender) in
+    List.iter (emit t)
+      (Filter.route_map_constraints sender t.pkt ~rm:rm_ast ~pass:T.tru ~src:pre ~dst);
+    dst
+
+(* ---------------- selection ---------------- *)
+
+and constrain_device t (dev : A.device) =
+  let enc = Hashtbl.find t.dev_enc dev.A.dev_name in
+  let multipath = match dev.A.dev_bgp with Some b -> b.A.bgp_multipath | None -> true in
+  (match enc.best_bgp with
+   | Some best ->
+     emit t (Sym_record.well_formed t.pkt best);
+     List.iter (emit t)
+       (Selection.constrain_best
+          ~geq:(Selection.bgp_geq ~multipath)
+          ~best
+          ~candidates:(List.map (fun c -> c.rec_) enc.cand_bgp))
+   | None -> ());
+  (match enc.best_ospf with
+   | Some best ->
+     emit t (Sym_record.well_formed t.pkt best);
+     List.iter (emit t)
+       (Selection.constrain_best ~geq:Selection.igp_geq ~best
+          ~candidates:(List.map (fun c -> c.rec_) enc.cand_ospf))
+   | None -> ());
+  let overall_cands =
+    (match enc.best_bgp with Some b -> [ b ] | None -> [])
+    @ (match enc.best_ospf with Some b -> [ b ] | None -> [])
+    @ List.map (fun c -> c.rec_) enc.cand_direct
+  in
+  emit t (Sym_record.well_formed t.pkt enc.best_overall);
+  List.iter (emit t)
+    (Selection.constrain_best ~geq:Selection.overall_geq ~best:enc.best_overall
+       ~candidates:overall_cands);
+  (* exports to external peers, for leak/equivalence properties *)
+  if not t.igp_only then begin
+    match enc.best_bgp with
+    | Some best ->
+      List.iter
+        (fun s ->
+          match s.s_peer with
+          | `External peer ->
+            let exported =
+              build_bgp_export t ~sender:dev ~best ~out_map:s.s_nbr.A.nbr_rm_out
+                ~is_ibgp:false
+                ~name:(Printf.sprintf "%s%s.bgp.out.%s" dev.A.dev_name t.suffix peer)
+            in
+            Hashtbl.replace t.export_ext_tbl (dev.A.dev_name, peer) exported
+          | `Internal _ -> ())
+        (bgp_sessions t dev)
+    | None -> ()
+  end
+
+(* ---------------- forwarding ---------------- *)
+
+(* Would the source protocol (at this device) forward to hop [h]?  Used
+   for redistributed routes; only direct (non-redistributed) candidates
+   of the source protocol are considered. *)
+and inherit_base enc src_proto h =
+  match src_proto with
+  | A.Pconnected | A.Pstatic ->
+    T.or_
+      (List.filter_map
+         (fun c ->
+           match c.hop with
+           | Fixed hh when c.proto = src_proto && Nexthop.equal hh h ->
+             Some c.rec_.Sym_record.valid
+           | Fixed _ | Inherit _ | Via_copy _ -> None)
+         enc.cand_direct)
+  | A.Pospf ->
+    (match enc.best_ospf with
+     | None -> T.fls
+     | Some best ->
+       T.or_
+         (List.filter_map
+            (fun c ->
+              match c.hop with
+              | Fixed hh when Nexthop.equal hh h ->
+                Some (T.and_ [ c.rec_.Sym_record.valid; Sym_record.equal_fields best c.rec_ ])
+              | Fixed _ | Inherit _ | Via_copy _ -> None)
+            enc.cand_ospf))
+  | A.Pbgp ->
+    (match enc.best_bgp with
+     | None -> T.fls
+     | Some best ->
+       T.or_
+         (List.filter_map
+            (fun c ->
+              match c.hop with
+              | Fixed hh when Nexthop.equal hh h ->
+                Some (T.and_ [ c.rec_.Sym_record.valid; Sym_record.equal_fields best c.rec_ ])
+              | Fixed _ | Inherit _ | Via_copy _ -> None)
+            enc.cand_bgp))
+
+and fwd_within t enc (best : Sym_record.t) cands h =
+  let d = enc.dev.A.dev_name in
+  let parts =
+    List.filter_map
+      (fun c ->
+        match c.hop with
+        | Fixed hh when Nexthop.equal hh h ->
+          Some (T.and_ [ c.rec_.Sym_record.valid; Sym_record.equal_fields best c.rec_ ])
+        | Fixed _ -> None
+        | Inherit src_proto ->
+          let base = inherit_base enc src_proto h in
+          if T.equal base T.fls then None
+          else
+            Some
+              (T.and_ [ c.rec_.Sym_record.valid; Sym_record.equal_fields best c.rec_; base ])
+        | Via_copy key ->
+          (match Hashtbl.find_opt t.copies key with
+           | Some (copy, _) ->
+             (* The copy resolves forwarding toward the iBGP peer's
+                address.  "Deliver" in the copy means the peering subnet
+                is directly attached - in the real network that is a hop
+                to the peer device itself. *)
+             let owner =
+               Option.map
+                 (fun (dev : A.device) -> dev.A.dev_name)
+                 (A.device_of_ip t.net (Ipv4.of_string key))
+             in
+             let base =
+               match h with
+               | Nexthop.To_deliver -> T.fls
+               | Nexthop.To_device n when owner = Some n ->
+                 T.or_ [ controlfwd copy d h; controlfwd copy d Nexthop.To_deliver ]
+               | Nexthop.To_device _ | Nexthop.To_external _ | Nexthop.To_drop ->
+                 controlfwd copy d h
+             in
+             if T.equal base T.fls then None
+             else
+               Some
+                 (T.and_ [ c.rec_.Sym_record.valid; Sym_record.equal_fields best c.rec_; base ])
+           | None -> None))
+      cands
+  in
+  T.or_ parts
+
+and build_forwarding t (dev : A.device) =
+  let enc = Hashtbl.find t.dev_enc dev.A.dev_name in
+  let d = dev.A.dev_name in
+  List.iter
+    (fun h ->
+      let direct =
+        List.filter_map
+          (fun c ->
+            match c.hop with
+            | Fixed hh when Nexthop.equal hh h ->
+              Some
+                (T.and_
+                   [ c.rec_.Sym_record.valid; Sym_record.equal_fields enc.best_overall c.rec_ ])
+            | Fixed _ | Inherit _ | Via_copy _ -> None)
+          enc.cand_direct
+      in
+      let proto_part best cands =
+        match best with
+        | None -> []
+        | Some (b : Sym_record.t) ->
+          let within = fwd_within t enc b cands h in
+          if T.equal within T.fls then []
+          else
+            [
+              T.and_
+                [
+                  b.Sym_record.valid;
+                  Sym_record.equal_fields enc.best_overall b;
+                  within;
+                ];
+            ]
+      in
+      let cf_term =
+        T.or_ (direct @ proto_part enc.best_bgp enc.cand_bgp @ proto_part enc.best_ospf enc.cand_ospf)
+      in
+      let cf_var =
+        T.var (Printf.sprintf "controlfwd%s.%s.%s" t.suffix d (Nexthop.to_string h)) Smt.Sort.Bool
+      in
+      emit t (T.iff cf_var cf_term);
+      Hashtbl.replace t.cf (d, h) cf_var;
+      (* data plane: conjoin ACLs *)
+      let acl =
+        match h with
+        | Nexthop.To_device n ->
+          let ifaces =
+            List.find_map
+              (fun (local_if, peer, peer_if) -> if peer = n then Some (local_if, peer_if) else None)
+              (Net.Topology.neighbors t.net.A.net_topology d)
+          in
+          (match ifaces with
+           | None -> T.tru
+           | Some (out_if, in_if) ->
+             Filter.link_acl_permits t.pkt ~dev ~out_iface:(Some out_if)
+               ~peer:(A.find_device t.net n) ~in_iface:(Some in_if))
+        | Nexthop.To_external peer ->
+          (* out-ACL on the interface facing the peer *)
+          let peer_ip =
+            List.find_map
+              (fun (name, ip) -> if name = peer then Some ip else None)
+              (external_peers t d)
+          in
+          let out_if =
+            match peer_ip with
+            | None -> None
+            | Some ip ->
+              List.find_map
+                (fun (i : A.interface) ->
+                  match i.A.if_prefix with
+                  | Some p when Prefix.contains p ip -> Some i.A.if_name
+                  | Some _ | None -> None)
+                dev.A.dev_interfaces
+          in
+          Filter.link_acl_permits t.pkt ~dev ~out_iface:out_if ~peer:None ~in_iface:None
+        | Nexthop.To_deliver ->
+          (* out-ACLs on the delivering (host-facing) interfaces *)
+          T.and_
+            (List.filter_map
+               (fun (i : A.interface) ->
+                 match (i.A.if_prefix, Option.bind i.A.if_acl_out (A.find_acl dev)) with
+                 | Some p, Some acl ->
+                   Some
+                     (T.implies (Packet.dst_in_prefix t.pkt p) (Filter.acl_permits t.pkt acl))
+                 | (Some _ | None), _ -> None)
+               dev.A.dev_interfaces)
+        | Nexthop.To_drop -> T.tru
+      in
+      let df_term = T.and_ [ cf_var; acl ] in
+      let df =
+        if t.opts.Options.merge_dataplane then df_term
+        else begin
+          let v =
+            T.var (Printf.sprintf "datafwd%s.%s.%s" t.suffix d (Nexthop.to_string h)) Smt.Sort.Bool
+          in
+          emit t (T.iff v df_term);
+          v
+        end
+      in
+      Hashtbl.replace t.df (d, h) df)
+    (hops t d)
+
+let build ?(suffix = "") net opts =
+  build_general net opts ~igp_only:false ~suffix ~dst_const:None ~shared_failed:None
+
+let stats t =
+  let n = List.length t.asserts in
+  let size = List.fold_left (fun acc a -> acc + T.size a) 0 t.asserts in
+  (n, size)

@@ -1,0 +1,76 @@
+(** The Minesweeper network encoding (§3–§4, §6).
+
+    [build net opts] translates a network's configurations into a
+    conjunction of SMT constraints whose satisfying assignments are the
+    stable states of the control plane, sliced with respect to one
+    symbolic packet, under a fully symbolic environment (arbitrary
+    external announcements, and up to [opts.max_failures] link
+    failures).
+
+    Properties (see {!Property}) are expressed over the exposed
+    forwarding variables and records and conjoined with the encoding by
+    {!Verify}. *)
+
+type t
+
+val build : ?suffix:string -> Config.Ast.network -> Options.t -> t
+(** [suffix] distinguishes variable names when several encodings of the
+    same network coexist in one formula (equivalence and
+    fault-invariance checks). *)
+
+val network : t -> Config.Ast.network
+val options : t -> Options.t
+val packet : t -> Packet.t
+
+val assertions : t -> Smt.Term.t list
+(** The network semantics [N]: assert all of these. *)
+
+val devices : t -> string list
+
+val hops : t -> string -> Nexthop.t list
+(** All forwarding targets of a device in the model. *)
+
+val controlfwd : t -> string -> Nexthop.t -> Smt.Term.t
+(** Control-plane decision to forward from a device to a hop
+    ([Term.fls] for hops the device does not have). *)
+
+val datafwd : t -> string -> Nexthop.t -> Smt.Term.t
+(** Like {!controlfwd} but accounting for data-plane ACLs. *)
+
+val best_overall : t -> string -> Sym_record.t
+
+val best_bgp : t -> string -> Sym_record.t option
+val best_ospf : t -> string -> Sym_record.t option
+
+val external_peers : t -> string -> (string * Net.Ipv4.t) list
+(** [(peer_name, neighbor_ip)] of each symbolic external neighbor of a
+    device. *)
+
+val env_record : t -> string -> string -> Sym_record.t
+(** [env_record t dev peer]: the peer's raw (unconstrained) announcement
+    record arriving at [dev]. *)
+
+val import_from_external : t -> string -> string -> Sym_record.t
+(** The record after [dev]'s import policy on that peering. *)
+
+val internal_imports : t -> string -> (string * Sym_record.t) list
+(** [(peer_device, record)] for every internal BGP session of a device,
+    sorted by peer name; used by the equivalence properties. *)
+
+val export_to_external : t -> string -> string -> Sym_record.t
+(** The record [dev] exports to the external peer. *)
+
+val failed_links : t -> ((string * string) * Smt.Term.t) list
+(** Failure variable of every link (internal and to external peers);
+    constant [fls] when failures are disabled. *)
+
+val failed : t -> string -> string -> Smt.Term.t
+
+val internal_neighbors : t -> string -> string list
+(** Internal devices this device can forward to in the model. *)
+
+val subnets : t -> string -> Net.Prefix.t list
+(** Locally attached destination subnets of a device. *)
+
+val stats : t -> int * int
+(** (number of assertions, total term DAG size) — for reporting. *)

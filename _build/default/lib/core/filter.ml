@@ -1,0 +1,149 @@
+(** Translation of routing policy (prefix lists, route maps) and
+    data-plane ACLs into SMT constraints over symbolic records and the
+    symbolic packet (§3 steps 4, 6, 7; Figure 4).
+
+    Under prefix hoisting (§6.1), a prefix-list test on a record becomes
+    an interval test on the packet's destination IP plus bounds on the
+    record's length attribute; in the naive encoding it tests the
+    record's explicit bit-vector prefix. *)
+
+module T = Smt.Term
+module A = Config.Ast
+
+(* One prefix-list entry's match condition. *)
+let entry_match (pkt : Packet.t) (r : Sym_record.t) (e : A.prefix_list_entry) =
+  let base = Net.Prefix.length e.pl_prefix in
+  let ge, le =
+    match (e.pl_ge, e.pl_le) with
+    | None, None -> (base, base)
+    | Some g, None -> (g, 32)
+    | None, Some l -> (base, l)
+    | Some g, Some l -> (g, l)
+  in
+  let len_in_range =
+    T.and_ [ T.geq r.plen (T.int_const ge); T.leq r.plen (T.int_const le) ]
+  in
+  let bits_match =
+    match r.prefix with
+    | None ->
+      (* Hoisted: since the record is valid for the packet and its length
+         is at least [base], the first [base] bits of the (eliminated)
+         prefix agree with the destination IP — test the IP directly. *)
+      Packet.dst_in_prefix pkt e.pl_prefix
+    | Some prefix ->
+      let mask = T.bv_const ~width:32 (Packet.mask_of_len base) in
+      T.bv_eq (T.bv_and prefix mask) (T.bv_const ~width:32 (Net.Prefix.network e.pl_prefix))
+  in
+  T.and_ [ len_in_range; bits_match ]
+
+(** First-match semantics of a prefix list; exhaustion denies. *)
+let prefix_list_permits pkt r (pl : A.prefix_list) =
+  let rec chain = function
+    | [] -> T.fls
+    | (e : A.prefix_list_entry) :: rest ->
+      let m = entry_match pkt r e in
+      let here = T.bool_const (e.pl_action = A.Permit) in
+      T.or_ [ T.and_ [ m; here ]; T.and_ [ T.not_ m; chain rest ] ]
+  in
+  chain pl.pl_entries
+
+let match_cond (dev : A.device) pkt (r : Sym_record.t) = function
+  | A.Match_prefix_list name ->
+    (match A.find_prefix_list dev name with
+     | Some pl -> prefix_list_permits pkt r pl
+     | None -> T.fls)
+  | A.Match_community c -> Sym_record.comm_term r c
+
+(** The attribute overrides a clause's set actions impose. *)
+let set_overrides sets =
+  List.fold_left
+    (fun acc set ->
+      match set with
+      | A.Set_local_pref n -> (`Lp, T.int_const n) :: List.remove_assoc `Lp acc
+      | A.Set_metric n -> (`Metric, T.int_const n) :: List.remove_assoc `Metric acc
+      | A.Set_med n -> (`Med, T.int_const n) :: List.remove_assoc `Med acc
+      | A.Set_community c -> (`Comm c, T.tru) :: List.remove_assoc (`Comm c) acc
+      | A.Delete_community c -> (`Comm c, T.fls) :: List.remove_assoc (`Comm c) acc)
+    [] sets
+
+(** Encode a route map applied between [src] (the record arriving at
+    the policy) and [dst] (a fresh record for the result), guarded by
+    [pass] (link up, export rules, ...).  Returns the constraints.
+
+    Semantics: the first clause whose matches all hold decides; permit
+    copies [src] into [dst] applying the clause's sets; deny (or no
+    matching clause) invalidates [dst]. *)
+let route_map_constraints (dev : A.device) pkt ~(rm : A.route_map option) ~pass
+    ~(src : Sym_record.t) ~(dst : Sym_record.t) =
+  match rm with
+  | None ->
+    (* No policy: dst mirrors src when the guard passes. *)
+    [
+      T.iff dst.valid (T.and_ [ src.valid; pass ]);
+      T.implies dst.valid (Sym_record.copy_constraints ~src ~dst ());
+    ]
+  | Some rm ->
+    let clause_conds =
+      List.map
+        (fun (cl : A.rm_clause) ->
+          (cl, T.and_ (List.map (match_cond dev pkt src) cl.rm_matches)))
+        rm.rm_clauses
+    in
+    (* selected(cl) = its condition holds and no earlier clause matched *)
+    let rec selectors prior = function
+      | [] -> []
+      | (cl, cond) :: rest ->
+        let sel = T.and_ (cond :: List.map T.not_ prior) in
+        (cl, sel) :: selectors (cond :: prior) rest
+    in
+    let selected = selectors [] clause_conds in
+    let permitted =
+      T.or_
+        (List.filter_map
+           (fun ((cl : A.rm_clause), sel) -> if cl.rm_action = A.Permit then Some sel else None)
+           selected)
+    in
+    let validity = T.iff dst.valid (T.and_ [ src.valid; pass; permitted ]) in
+    let per_clause =
+      List.filter_map
+        (fun ((cl : A.rm_clause), sel) ->
+          if cl.rm_action = A.Deny then None
+          else begin
+            let overrides = set_overrides cl.rm_sets in
+            Some
+              (T.implies
+                 (T.and_ [ dst.valid; sel ])
+                 (Sym_record.copy_constraints ~overrides ~src ~dst ()))
+          end)
+        selected
+    in
+    validity :: per_clause
+
+(** Data-plane ACL as a predicate on the packet's destination;
+    first-match semantics, default deny. *)
+let acl_permits pkt (acl : A.acl) =
+  let rec chain = function
+    | [] -> T.fls
+    | (e : A.acl_entry) :: rest ->
+      let m = Packet.dst_in_prefix pkt e.acl_dst in
+      T.or_
+        [ T.and_ [ m; T.bool_const (e.acl_action = A.Permit) ]; T.and_ [ T.not_ m; chain rest ] ]
+  in
+  chain acl.acl_entries
+
+(** Combined ACL test for traffic leaving [dev] on [out_iface] and
+    entering [peer_dev] on [in_iface]; [tru] when no ACLs apply. *)
+let link_acl_permits pkt ~(dev : A.device) ~out_iface ~(peer : A.device option) ~in_iface =
+  let side (d : A.device option) iface_name dir =
+    match d with
+    | None -> T.tru
+    | Some d ->
+      (match Option.bind iface_name (A.find_interface d) with
+       | None -> T.tru
+       | Some i ->
+         let acl_name = match dir with `In -> i.A.if_acl_in | `Out -> i.A.if_acl_out in
+         (match Option.bind acl_name (A.find_acl d) with
+          | None -> T.tru
+          | Some acl -> acl_permits pkt acl))
+  in
+  T.and_ [ side (Some dev) out_iface `Out; side peer in_iface `In ]

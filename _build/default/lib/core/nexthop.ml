@@ -1,0 +1,18 @@
+(** Forwarding targets of a device in the symbolic model. *)
+
+type t =
+  | To_device of string  (** internal neighbor *)
+  | To_external of string  (** external BGP peer, by canonical name *)
+  | To_deliver  (** a locally attached destination subnet *)
+  | To_drop  (** explicit discard (null route, suppressed aggregate) *)
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let to_string = function
+  | To_device d -> "dev:" ^ d
+  | To_external p -> "ext:" ^ p
+  | To_deliver -> "deliver"
+  | To_drop -> "drop"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,46 @@
+(** Encoding options: the §6 optimizations as independent switches so
+    the ablation benchmarks (E7) can toggle them. *)
+
+type t = {
+  hoist_prefixes : bool;
+      (** §6.1 prefix elimination: drop per-record prefix variables and
+          rewrite prefix filters as integer range tests on the single
+          symbolic destination IP.  When [false], every record carries a
+          32-bit bit-vector prefix that is bit-blasted (the "naive"
+          baseline). *)
+  slice_unused : bool;
+      (** §6.2: statically drop attributes that can never influence any
+          decision in this network (e.g. local-preference when no
+          configuration sets it), replacing them by shared constants. *)
+  merge_filters : bool;
+      (** §6.2: share import and export records over an edge when no
+          import policy exists (derived copies instead of fresh
+          variables). *)
+  merge_dataplane : bool;
+      (** §6.2: merge control-plane and data-plane forwarding variables
+          on edges without ACLs. *)
+  max_failures : int option;
+      (** [Some k] introduces per-link failure variables constrained to
+          at most [k] simultaneous failures; [None] encodes a fully
+          healthy network (failure variables sliced away). *)
+  fail_internal_only : bool;
+      (** Restrict failure variables to links between internal devices.
+          A failed external peering is behaviourally identical to the
+          peer not announcing, which the symbolic environment already
+          covers; fault-invariance checking therefore uses this mode to
+          avoid double-counting the environment as a "failure". *)
+}
+
+let default =
+  {
+    hoist_prefixes = true;
+    slice_unused = true;
+    merge_filters = true;
+    merge_dataplane = true;
+    max_failures = None;
+    fail_internal_only = false;
+  }
+
+let naive = { default with hoist_prefixes = false; slice_unused = false; merge_filters = false; merge_dataplane = false }
+
+let with_failures k t = { t with max_failures = Some k }

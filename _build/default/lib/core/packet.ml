@@ -1,0 +1,66 @@
+(** The single symbolic packet (§3).  Under prefix hoisting the
+    destination is an integer and prefix tests become interval tests in
+    difference logic; in the naive baseline it is a 32-bit bit-vector
+    and prefix tests are bit-blasted mask comparisons. *)
+
+module T = Smt.Term
+
+type t = {
+  naive : bool;
+  dst_ip : T.t;  (** Int (hoisted) or Bitvec 32 (naive) *)
+  src_ip : T.t;
+  dst_port : T.t;
+  src_port : T.t;
+  protocol : T.t;
+}
+
+let ip_space = 1 lsl 32
+
+let create (opts : Options.t) ~suffix =
+  let naive = not opts.hoist_prefixes in
+  let name field = Printf.sprintf "pkt%s.%s" suffix field in
+  let dst_ip =
+    if naive then T.bv_var (name "dstIp") ~width:32 else T.var (name "dstIp") Smt.Sort.Int
+  in
+  {
+    naive;
+    dst_ip;
+    src_ip = T.var (name "srcIp") Smt.Sort.Int;
+    dst_port = T.var (name "dstPort") Smt.Sort.Int;
+    src_port = T.var (name "srcPort") Smt.Sort.Int;
+    protocol = T.var (name "proto") Smt.Sort.Int;
+  }
+
+(** Range constraints for all header fields. *)
+let well_formed p =
+  let bounded t lo hi = T.and_ [ T.geq t (T.int_const lo); T.leq t (T.int_const hi) ] in
+  T.and_
+    [
+      (if p.naive then T.tru else bounded p.dst_ip 0 (ip_space - 1));
+      bounded p.src_ip 0 (ip_space - 1);
+      bounded p.dst_port 0 65535;
+      bounded p.src_port 0 65535;
+      bounded p.protocol 0 255;
+    ]
+
+let mask_of_len len = if len = 0 then 0 else ((1 lsl len) - 1) lsl (32 - len)
+
+(** [dst_in_prefix p pfx] holds when the packet's destination lies in
+    [pfx] — an interval test (hoisted) or a masked equality (naive). *)
+let dst_in_prefix p (pfx : Net.Prefix.t) =
+  if p.naive then begin
+    let len = Net.Prefix.length pfx in
+    T.bv_eq
+      (T.bv_and p.dst_ip (T.bv_const ~width:32 (mask_of_len len)))
+      (T.bv_const ~width:32 (Net.Prefix.network pfx))
+  end
+  else
+    T.and_
+      [
+        T.geq p.dst_ip (T.int_const (Net.Prefix.first pfx));
+        T.leq p.dst_ip (T.int_const (Net.Prefix.last pfx));
+      ]
+
+let dst_eq p ip =
+  if p.naive then T.bv_eq p.dst_ip (T.bv_const ~width:32 ip)
+  else T.eq p.dst_ip (T.int_const ip)

@@ -1,0 +1,519 @@
+module T = Smt.Term
+module A = Config.Ast
+
+type t = {
+  instrumentation : Smt.Term.t list;
+  assumptions : Smt.Term.t list;
+  goal : Smt.Term.t;
+}
+
+type destination =
+  | Subnet of string * Net.Prefix.t
+  | External_peer of string
+  | Device of string
+
+let fresh_prop_counter = ref 0
+
+let prop_var name =
+  incr fresh_prop_counter;
+  T.var (Printf.sprintf "prop!%d.%s" !fresh_prop_counter name) Smt.Sort.Bool
+
+let prop_int name =
+  incr fresh_prop_counter;
+  T.var (Printf.sprintf "prop!%d.%s" !fresh_prop_counter name) Smt.Sort.Int
+
+let prop_real name =
+  incr fresh_prop_counter;
+  T.var (Printf.sprintf "prop!%d.%s" !fresh_prop_counter name) Smt.Sort.Real
+
+(* Constraints a destination puts on the symbolic packet. *)
+let dst_assumptions enc dest =
+  let pkt = Encode.packet enc in
+  match dest with
+  | Subnet (_, p) -> [ Packet.dst_in_prefix pkt p ]
+  | External_peer _ ->
+    (* destination beyond the network edge: outside every internal subnet *)
+    List.concat_map
+      (fun d -> List.map (fun p -> T.not_ (Packet.dst_in_prefix pkt p)) (Encode.subnets enc d))
+      (Encode.devices enc)
+  | Device d ->
+    [ T.or_ (List.map (Packet.dst_in_prefix pkt) (Encode.subnets enc d)) ]
+
+let base_term enc dest d =
+  match dest with
+  | Subnet (owner, _) | Device owner ->
+    if d = owner then Encode.datafwd enc d Nexthop.To_deliver else T.fls
+  | External_peer peer -> Encode.datafwd enc d (Nexthop.To_external peer)
+
+(* canReach instrumentation (§3 step 8). *)
+let reach_terms enc dest =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun d -> Hashtbl.replace tbl d (prop_var ("canReach." ^ d)))
+    (Encode.devices enc);
+  let get d = match Hashtbl.find_opt tbl d with Some v -> v | None -> T.fls in
+  let defs =
+    List.map
+      (fun d ->
+        let steps =
+          List.map
+            (fun n -> T.and_ [ Encode.datafwd enc d (Nexthop.To_device n); get n ])
+            (Encode.internal_neighbors enc d)
+        in
+        T.iff (get d) (T.or_ (base_term enc dest d :: steps)))
+      (Encode.devices enc)
+  in
+  (get, defs)
+
+let reachability enc ~sources dest =
+  let reach, defs = reach_terms enc dest in
+  {
+    instrumentation = defs;
+    assumptions = dst_assumptions enc dest;
+    goal = T.and_ (List.map reach sources);
+  }
+
+let isolation enc ~sources dest =
+  let reach, defs = reach_terms enc dest in
+  {
+    instrumentation = defs;
+    assumptions = dst_assumptions enc dest;
+    goal = T.and_ (List.map (fun s -> T.not_ (reach s)) sources);
+  }
+
+(* Reachability refined with a hop-count variable: [len d] is the length
+   of the forwarding path justifying [reach d]. *)
+let reach_with_length enc dest =
+  let rtbl = Hashtbl.create 16 and ltbl = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      Hashtbl.replace rtbl d (prop_var ("canReachL." ^ d));
+      Hashtbl.replace ltbl d (prop_int ("pathLen." ^ d)))
+    (Encode.devices enc);
+  let reach d = match Hashtbl.find_opt rtbl d with Some v -> v | None -> T.fls in
+  let len d = Hashtbl.find ltbl d in
+  let defs =
+    List.concat_map
+      (fun d ->
+        let base = base_term enc dest d in
+        let steps =
+          List.map
+            (fun n ->
+              T.and_
+                [
+                  Encode.datafwd enc d (Nexthop.To_device n);
+                  reach n;
+                  T.eq (len d) (T.add (len n) (T.int_const 1));
+                ])
+            (Encode.internal_neighbors enc d)
+        in
+        [
+          T.iff (reach d) (T.or_ (T.and_ [ base; T.eq (len d) (T.int_const 0) ] :: steps));
+          T.geq (len d) (T.int_const 0);
+        ])
+      (Encode.devices enc)
+  in
+  (reach, len, defs)
+
+let bounded_length enc ~sources dest ~bound =
+  let reach, len, defs = reach_with_length enc dest in
+  {
+    instrumentation = defs;
+    assumptions = dst_assumptions enc dest;
+    goal =
+      T.and_
+        (List.map (fun s -> T.implies (reach s) (T.leq (len s) (T.int_const bound))) sources);
+  }
+
+let equal_lengths enc ~sources dest =
+  let reach, len, defs = reach_with_length enc dest in
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | [ _ ] | [] -> []
+  in
+  {
+    instrumentation = defs;
+    assumptions = dst_assumptions enc dest;
+    goal =
+      T.and_
+        (List.map
+           (fun (a, b) ->
+             T.implies (T.and_ [ reach a; reach b ]) (T.eq (len a) (len b)))
+           (pairs sources));
+  }
+
+let waypoint enc ~sources dest ~via =
+  let reach, defs = reach_terms enc dest in
+  (* [wp d]: every delivered forwarding branch from [d] traverses [via]
+     before reaching the destination (all-paths semantics, so an ECMP
+     branch that bypasses the waypoint is a violation). *)
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun d -> Hashtbl.replace tbl d (prop_var ("viaWp." ^ d))) (Encode.devices enc);
+  let wp d = match Hashtbl.find_opt tbl d with Some v -> v | None -> T.fls in
+  let wp_defs =
+    List.map
+      (fun d ->
+        if d = via then T.iff (wp d) (reach d)
+        else begin
+          let all_branches =
+            List.map
+              (fun n ->
+                T.implies
+                  (T.and_ [ Encode.datafwd enc d (Nexthop.To_device n); reach n ])
+                  (wp n))
+              (Encode.internal_neighbors enc d)
+          in
+          T.iff (wp d)
+            (T.and_ (reach d :: T.not_ (base_term enc dest d) :: all_branches))
+        end)
+      (Encode.devices enc)
+  in
+  {
+    instrumentation = defs @ wp_defs;
+    assumptions = dst_assumptions enc dest;
+    goal = T.and_ (List.map (fun s -> T.implies (reach s) (wp s)) sources);
+  }
+
+let disjoint_paths enc d1 d2 dest =
+  (* on_i(d): d lies on a forwarding path from d_i toward the destination *)
+  let make src =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun d -> Hashtbl.replace tbl d (prop_var (Printf.sprintf "on.%s.%s" src d)))
+      (Encode.devices enc);
+    let on d = match Hashtbl.find_opt tbl d with Some v -> v | None -> T.fls in
+    let defs =
+      List.map
+        (fun d ->
+          if d = src then T.iff (on d) T.tru
+          else begin
+            let preds =
+              List.filter_map
+                (fun p ->
+                  if List.mem d (Encode.internal_neighbors enc p) then
+                    Some (T.and_ [ on p; Encode.datafwd enc p (Nexthop.To_device d) ])
+                  else None)
+                (Encode.devices enc)
+            in
+            T.iff (on d) (T.or_ preds)
+          end)
+        (Encode.devices enc)
+    in
+    (on, defs)
+  in
+  let on1, defs1 = make d1 in
+  let on2, defs2 = make d2 in
+  let shared_edge =
+    List.concat_map
+      (fun d ->
+        List.map
+          (fun n ->
+            let e = Encode.datafwd enc d (Nexthop.To_device n) in
+            T.and_ [ on1 d; on2 d; e ])
+          (Encode.internal_neighbors enc d))
+      (Encode.devices enc)
+  in
+  {
+    instrumentation = defs1 @ defs2;
+    assumptions = dst_assumptions enc dest;
+    goal = T.not_ (T.or_ shared_edge);
+  }
+
+let loop_candidates enc =
+  List.filter
+    (fun d ->
+      match A.find_device (Encode.network enc) d with
+      | None -> false
+      | Some dev ->
+        dev.A.dev_statics <> []
+        || (match dev.A.dev_bgp with Some b -> b.A.bgp_redistribute <> [] | None -> false)
+        || (match dev.A.dev_ospf with Some o -> o.A.ospf_redistribute <> [] | None -> false))
+    (Encode.devices enc)
+
+let no_loops enc ?candidates () =
+  let candidates = match candidates with Some c -> c | None -> loop_candidates enc in
+  (* For each candidate r: visit(d) = traffic from d returns to r. *)
+  let loops =
+    List.concat_map
+      (fun r ->
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun d -> Hashtbl.replace tbl d (prop_var (Printf.sprintf "loop.%s.%s" r d)))
+          (Encode.devices enc);
+        let visit d = match Hashtbl.find_opt tbl d with Some v -> v | None -> T.fls in
+        let defs =
+          List.map
+            (fun d ->
+              let steps =
+                List.map
+                  (fun n ->
+                    T.and_
+                      [
+                        Encode.datafwd enc d (Nexthop.To_device n);
+                        (if n = r then T.tru else visit n);
+                      ])
+                  (Encode.internal_neighbors enc d)
+              in
+              T.iff (visit d) (T.or_ steps))
+            (Encode.devices enc)
+        in
+        (defs, visit r) :: [])
+      candidates
+  in
+  {
+    instrumentation = List.concat_map fst loops;
+    assumptions = [];
+    goal = T.not_ (T.or_ (List.map snd loops));
+  }
+
+let outgoing enc d =
+  T.or_
+    (List.filter_map
+       (fun h ->
+         match h with
+         | Nexthop.To_drop -> None
+         | Nexthop.To_device _ | Nexthop.To_external _ | Nexthop.To_deliver ->
+           Some (Encode.datafwd enc d h))
+       (Encode.hops enc d))
+
+let no_blackholes enc ?(allowed = []) () =
+  let holes =
+    List.filter_map
+      (fun d ->
+        if List.mem d allowed then None
+        else begin
+          let incoming =
+            List.filter_map
+              (fun p ->
+                if List.mem d (Encode.internal_neighbors enc p) then
+                  Some (Encode.datafwd enc p (Nexthop.To_device d))
+                else None)
+              (Encode.devices enc)
+          in
+          (* a device drops traffic either by having no forwarding entry
+             for it, or by an ACL cancelling its control-plane decision *)
+          let acl_drop =
+            List.map
+              (fun h ->
+                T.and_ [ Encode.controlfwd enc d h; T.not_ (Encode.datafwd enc d h) ])
+              (Encode.hops enc d)
+          in
+          let no_route = if incoming = [] then T.fls else T.and_ [ T.or_ incoming; T.not_ (outgoing enc d) ] in
+          Some (T.or_ (no_route :: acl_drop))
+        end)
+      (Encode.devices enc)
+  in
+  { instrumentation = []; assumptions = []; goal = T.not_ (T.or_ holes) }
+
+(* ACL-behaviour equivalence between two same-role devices: the packet
+   filters they enforce (on any of their interfaces) treat every packet
+   identically.  Captures the §8.1 "copy-paste ACL exception" class. *)
+let acl_verdict enc d =
+  match A.find_device (Encode.network enc) d with
+  | None -> T.tru
+  | Some dev ->
+    let pkt = Encode.packet enc in
+    let acl_terms =
+      List.concat_map
+        (fun (i : A.interface) ->
+          List.filter_map
+            (fun name ->
+              match Option.bind name (A.find_acl dev) with
+              | Some acl -> Some (Filter.acl_permits pkt acl)
+              | None -> None)
+            [ i.A.if_acl_in; i.A.if_acl_out ])
+        dev.A.dev_interfaces
+    in
+    T.and_ acl_terms
+
+let acl_equivalence enc d1 d2 =
+  {
+    instrumentation = [];
+    assumptions = [];
+    goal = T.iff (acl_verdict enc d1) (acl_verdict enc d2);
+  }
+
+let multipath_consistency enc dest =
+  let reach, defs = reach_terms enc dest in
+  let per_device =
+    List.map
+      (fun d ->
+        let per_nbr =
+          List.map
+            (fun n ->
+              T.implies
+                (Encode.controlfwd enc d (Nexthop.To_device n))
+                (T.and_ [ Encode.datafwd enc d (Nexthop.To_device n); reach n ]))
+            (Encode.internal_neighbors enc d)
+        in
+        T.implies (reach d) (T.and_ per_nbr))
+      (Encode.devices enc)
+  in
+  {
+    instrumentation = defs;
+    assumptions = dst_assumptions enc dest;
+    goal = T.and_ per_device;
+  }
+
+let neighbor_preference enc ~device ~peers =
+  (* §5: if an advertisement survives the import filter and all more
+     preferred ones do not, the device forwards to that neighbor. *)
+  let import p = Encode.import_from_external enc device p in
+  let rec conds prior = function
+    | [] -> []
+    | p :: rest ->
+      let better_absent = List.map (fun q -> T.not_ ((import q).Sym_record.valid)) prior in
+      T.implies
+        (T.and_ ((import p).Sym_record.valid :: better_absent))
+        (Encode.controlfwd enc device (Nexthop.To_external p))
+      :: conds (p :: prior) rest
+  in
+  { instrumentation = []; assumptions = []; goal = T.and_ (conds [] peers) }
+
+let load_balance enc ~sources dest ~pair:(da, db) ~threshold =
+  let q = T.rat_const in
+  let module Rat = Exactnum.Rat in
+  (* per-device totals and per-edge shares (§5 load balancing) *)
+  let total_tbl = Hashtbl.create 16 in
+  let share_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      Hashtbl.replace total_tbl d (prop_real ("total." ^ d));
+      Hashtbl.replace share_tbl d (prop_real ("share." ^ d)))
+    (Encode.devices enc);
+  let total d = Hashtbl.find total_tbl d in
+  let share d = Hashtbl.find share_tbl d in
+  let out_tbl = Hashtbl.create 64 in
+  let defs = ref [] in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun n ->
+          let v = prop_real (Printf.sprintf "out.%s.%s" d n) in
+          Hashtbl.replace out_tbl (d, n) v;
+          let fwd = Encode.datafwd enc d (Nexthop.To_device n) in
+          defs := T.implies fwd (T.eq v (share d)) :: T.implies (T.not_ fwd) (T.eq v (q Rat.zero)) :: !defs)
+        (Encode.internal_neighbors enc d))
+    (Encode.devices enc);
+  (* totals: source injection plus incoming shares *)
+  List.iter
+    (fun d ->
+      let inject = if List.mem d sources then q Rat.one else q Rat.zero in
+      let incoming =
+        List.filter_map (fun p -> Hashtbl.find_opt out_tbl (p, d)) (Encode.devices enc)
+      in
+      let sum = List.fold_left T.add inject incoming in
+      defs := T.eq (total d) sum :: !defs;
+      (* conservation: what flows in flows out over the used edges *)
+      let outgoing_edges =
+        List.filter_map (fun n -> Hashtbl.find_opt out_tbl (d, n)) (Encode.internal_neighbors enc d)
+      in
+      let internal_out = List.fold_left T.add (q Rat.zero) outgoing_edges in
+      let exits =
+        T.or_
+          (List.filter_map
+             (fun h ->
+               match h with
+               | Nexthop.To_deliver | Nexthop.To_external _ -> Some (Encode.datafwd enc d h)
+               | Nexthop.To_device _ | Nexthop.To_drop -> None)
+             (Encode.hops enc d))
+      in
+      defs := T.implies (T.not_ exits) (T.eq (total d) internal_out) :: !defs;
+      defs := T.geq (share d) (q Rat.zero) :: !defs)
+    (Encode.devices enc);
+  let diff_le =
+    T.and_
+      [
+        T.leq (T.sub (total da) (total db)) (q threshold);
+        T.leq (T.sub (total db) (total da)) (q threshold);
+      ]
+  in
+  {
+    instrumentation = !defs;
+    assumptions = dst_assumptions enc dest;
+    goal = diff_le;
+  }
+
+let no_leak enc ~max_len =
+  let checks =
+    List.concat_map
+      (fun d ->
+        List.map
+          (fun (p, _) ->
+            let e = Encode.export_to_external enc d p in
+            T.implies e.Sym_record.valid (T.leq e.Sym_record.plen (T.int_const max_len)))
+          (Encode.external_peers enc d))
+      (Encode.devices enc)
+  in
+  { instrumentation = []; assumptions = []; goal = T.and_ checks }
+
+let record_eq (a : Sym_record.t) (b : Sym_record.t) =
+  T.and_
+    [
+      T.iff a.Sym_record.valid b.Sym_record.valid;
+      T.implies a.Sym_record.valid (Sym_record.equal_fields a b);
+    ]
+
+(* Two devices are locally equivalent (Â§5) when, given pointwise-equal
+   inputs on their (structurally paired) sessions, they make the same
+   forwarding decisions and send the same external exports.  External
+   peerings are paired and their *raw environments* equated (so import
+   filter differences are caught); internal sessions are paired by
+   sorted peer name and their post-import records equated. *)
+let local_equivalence enc d1 d2 =
+  let ext1 = List.map fst (Encode.external_peers enc d1) in
+  let ext2 = List.map fst (Encode.external_peers enc d2) in
+  let int1 = Encode.internal_imports enc d1 in
+  let int2 = Encode.internal_imports enc d2 in
+  if List.length ext1 <> List.length ext2 || List.length int1 <> List.length int2 then
+    { instrumentation = []; assumptions = []; goal = T.fls }
+  else begin
+    let ext_paired = List.combine ext1 ext2 in
+    let int_paired = List.combine int1 int2 in
+    let env_equal =
+      List.map
+        (fun (p1, p2) ->
+          record_eq (Encode.env_record enc d1 p1) (Encode.env_record enc d2 p2))
+        ext_paired
+    in
+    let imports_equal =
+      List.map (fun ((_, r1), (_, r2)) -> record_eq r1 r2) int_paired
+    in
+    (* exclude traffic to the devices' own addresses: delivery to a local
+       subnet is trivially device-specific, not a role inconsistency *)
+    let not_own_traffic =
+      List.concat_map
+        (fun d ->
+          List.map
+            (fun p -> T.not_ (Packet.dst_in_prefix (Encode.packet enc) p))
+            (Encode.subnets enc d))
+        [ d1; d2 ]
+    in
+    let exports_equal =
+      List.map
+        (fun (p1, p2) ->
+          record_eq (Encode.export_to_external enc d1 p1) (Encode.export_to_external enc d2 p2))
+        ext_paired
+    in
+    let ext_fwd_equal =
+      List.map
+        (fun (p1, p2) ->
+          T.iff
+            (Encode.datafwd enc d1 (Nexthop.To_external p1))
+            (Encode.datafwd enc d2 (Nexthop.To_external p2)))
+        ext_paired
+    in
+    let int_fwd_equal =
+      List.map
+        (fun ((n1, _), (n2, _)) ->
+          T.iff
+            (Encode.datafwd enc d1 (Nexthop.To_device n1))
+            (Encode.datafwd enc d2 (Nexthop.To_device n2)))
+        int_paired
+    in
+    {
+      instrumentation = [];
+      assumptions = env_equal @ imports_equal @ not_own_traffic;
+      goal = T.and_ (exports_equal @ ext_fwd_equal @ int_fwd_equal);
+    }
+  end

@@ -1,0 +1,78 @@
+(** Properties (§5) expressed over a network encoding.
+
+    A property is a triple: [instrumentation] constraints (extra
+    variables such as reachability or path-length bits), [assumptions]
+    restricting packets/environments (conjoined positively), and the
+    [goal].  {!Verify.check} asserts the network semantics, the
+    instrumentation, the assumptions, and the {e negation} of the goal:
+    UNSAT means the property holds in every stable state, for every
+    packet and environment. *)
+
+type t = {
+  instrumentation : Smt.Term.t list;
+  assumptions : Smt.Term.t list;
+  goal : Smt.Term.t;
+}
+
+(** Destination of reachability-style queries. *)
+type destination =
+  | Subnet of string * Net.Prefix.t  (** a subnet attached to a device *)
+  | External_peer of string  (** traffic exits to this symbolic peer *)
+  | Device of string  (** any subnet attached to the device *)
+
+val reach_terms : Encode.t -> destination -> (string -> Smt.Term.t) * Smt.Term.t list
+(** [canReach] instrumentation: per-device reachability variables and
+    their defining constraints. *)
+
+val reachability : Encode.t -> sources:string list -> destination -> t
+(** Every source can reach the destination (for all packets to it, all
+    environments). *)
+
+val isolation : Encode.t -> sources:string list -> destination -> t
+
+val bounded_length : Encode.t -> sources:string list -> destination -> bound:int -> t
+(** No source uses a forwarding path longer than [bound] hops. *)
+
+val equal_lengths : Encode.t -> sources:string list -> destination -> t
+(** All sources that reach the destination use paths of one common
+    length. *)
+
+val waypoint : Encode.t -> sources:string list -> destination -> via:string -> t
+(** All delivered traffic from the sources traverses [via]. *)
+
+val disjoint_paths : Encode.t -> string -> string -> destination -> t
+(** The two devices never share a (directed) forwarding edge on their
+    paths to the destination. *)
+
+val no_loops : Encode.t -> ?candidates:string list -> unit -> t
+(** No forwarding loop exists.  [candidates] defaults to the devices
+    where loops are possible (static routes or redistribution). *)
+
+val no_blackholes : Encode.t -> ?allowed:string list -> unit -> t
+(** No device (outside [allowed], e.g. edge routers with intentional
+    filters) drops forwarded traffic — by receiving it without a
+    forwarding entry, or by an ACL cancelling its control-plane
+    decision. *)
+
+val acl_equivalence : Encode.t -> string -> string -> t
+(** The packet filters enforced by two same-role devices treat every
+    packet identically (§8.1 local-equivalence violation class). *)
+
+val multipath_consistency : Encode.t -> destination -> t
+
+val neighbor_preference : Encode.t -> device:string -> peers:string list -> t
+(** When several of the listed peers advertise, the device picks the
+    earliest in the list (§5 "neighbor preferences"). *)
+
+val load_balance : Encode.t -> sources:string list -> destination -> pair:string * string -> threshold:Exactnum.Rat.t -> t
+(** ECMP load on the two devices differs by at most [threshold] (§5
+    "load balancing"; uses the rational theory). *)
+
+val no_leak : Encode.t -> max_len:int -> t
+(** No route more specific than [max_len] is exported to any external
+    peer (§5 "aggregation and leaking prefixes"). *)
+
+val local_equivalence : Encode.t -> string -> string -> t
+(** Given pointwise-equal environments, the two devices make the same
+    forwarding decisions and send the same exports (§5).  The devices
+    must have the same number of external peerings. *)

@@ -1,0 +1,65 @@
+(** Route selection (§3 step 5): symbolic encoding of the decision
+    process.  [constrain_best] produces the standard Minesweeper
+    constraints: the best record is valid iff some candidate is, is at
+    least as preferred as every valid candidate, and equals one of
+    them. *)
+
+module T = Smt.Term
+
+(* Lexicographic "at least as preferred": each step is (better, equal). *)
+let lex steps =
+  let rec go = function
+    | [] -> T.tru
+    | (better, equal) :: rest -> T.or_ [ better; T.and_ [ equal; go rest ] ]
+  in
+  go steps
+
+(* Longest prefix first: a longer matching prefix always wins.  This
+   reflects the per-packet slice of longest-prefix-match forwarding. *)
+let plen_step (a : Sym_record.t) (b : Sym_record.t) = (T.gt a.plen b.plen, T.eq a.plen b.plen)
+
+(** [a] at least as preferred as [b] within a BGP process: local
+    preference (higher), AS-path length (lower), MED (lower), eBGP over
+    iBGP, router id (lower; skipped under multipath). *)
+let bgp_geq ~multipath (a : Sym_record.t) (b : Sym_record.t) =
+  let steps =
+    [
+      plen_step a b;
+      (T.gt a.lp b.lp, T.eq a.lp b.lp);
+      (T.lt a.metric b.metric, T.eq a.metric b.metric);
+      (T.lt a.med b.med, T.eq a.med b.med);
+      ( T.and_ [ T.not_ a.bgp_internal; b.bgp_internal ],
+        T.iff a.bgp_internal b.bgp_internal );
+    ]
+    @ if multipath then [] else [ (T.lt a.rid b.rid, T.eq a.rid b.rid) ]
+  in
+  lex steps
+
+(** IGP preference: longest prefix, then lowest metric. *)
+let igp_geq (a : Sym_record.t) (b : Sym_record.t) =
+  lex [ plen_step a b; (T.lt a.metric b.metric, T.eq a.metric b.metric) ]
+
+(** Overall (cross-protocol) preference: longest prefix, then lowest
+    administrative distance.  Remaining fields only break ties between
+    same-protocol candidates, which per-protocol selection already
+    ordered. *)
+let overall_geq (a : Sym_record.t) (b : Sym_record.t) =
+  lex [ plen_step a b; (T.lt a.ad b.ad, T.eq a.ad b.ad) ]
+
+(** Constraints defining [best] as the selection among [candidates].
+    [geq a b] must hold when record [a] is at least as preferred as
+    [b]. *)
+let constrain_best ~geq ~(best : Sym_record.t) ~(candidates : Sym_record.t list) =
+  let any_valid = T.or_ (List.map (fun (c : Sym_record.t) -> c.valid) candidates) in
+  let dominates =
+    List.map
+      (fun (c : Sym_record.t) -> T.implies c.valid (geq best c))
+      candidates
+  in
+  let equals_one =
+    T.or_
+      (List.map
+         (fun (c : Sym_record.t) -> T.and_ [ c.valid; Sym_record.equal_fields best c ])
+         candidates)
+  in
+  [ T.iff best.valid any_valid; T.implies best.valid (T.and_ dominates); T.implies best.valid equals_one ]

@@ -1,0 +1,116 @@
+module T = Smt.Term
+module Solver = Smt.Solver
+
+type outcome = Holds | Violation of Counterexample.t
+
+let solve_assertions enc (prop : Property.t) =
+  let solver = Solver.create () in
+  List.iter (Solver.assert_term solver) (Encode.assertions enc);
+  List.iter (Solver.assert_term solver) prop.Property.instrumentation;
+  List.iter (Solver.assert_term solver) prop.Property.assumptions;
+  Solver.assert_term solver (T.not_ prop.Property.goal);
+  solver
+
+let check_with_stats enc prop =
+  let solver = solve_assertions enc prop in
+  let outcome =
+    match Solver.check solver with
+    | Solver.Unsat -> Holds
+    | Solver.Sat model -> Violation (Counterexample.decode enc model)
+  in
+  (outcome, Solver.stats solver)
+
+let check enc prop = fst (check_with_stats enc prop)
+
+let verify net opts make_prop =
+  let enc = Encode.build net opts in
+  check enc (make_prop enc)
+
+let record_eq (a : Sym_record.t) (b : Sym_record.t) =
+  T.and_
+    [
+      T.iff a.Sym_record.valid b.Sym_record.valid;
+      T.implies a.Sym_record.valid (Sym_record.equal_fields a b);
+    ]
+
+(* Equate the symbolic packets of two encodings built with the same
+   options (hence the same field sorts). *)
+let packets_equal enc1 enc2 =
+  let p1 = Encode.packet enc1 and p2 = Encode.packet enc2 in
+  [
+    T.eq p1.Packet.dst_ip p2.Packet.dst_ip;
+    T.eq p1.Packet.src_ip p2.Packet.src_ip;
+    T.eq p1.Packet.dst_port p2.Packet.dst_port;
+    T.eq p1.Packet.src_port p2.Packet.src_port;
+    T.eq p1.Packet.protocol p2.Packet.protocol;
+  ]
+
+(* Pointwise-equal environments: external announcements matched by
+   (device, peer) name across the two encodings. *)
+let envs_equal enc1 enc2 =
+  List.concat_map
+    (fun d ->
+      List.filter_map
+        (fun (p, _) ->
+          match List.assoc_opt p (Encode.external_peers enc2 d) with
+          | Some _ -> Some (record_eq (Encode.env_record enc1 d p) (Encode.env_record enc2 d p))
+          | None -> None)
+        (Encode.external_peers enc1 d))
+    (Encode.devices enc1)
+
+let two_copy_check enc1 enc2 ~extra_assumptions ~goal =
+  let prop =
+    {
+      Property.instrumentation = Encode.assertions enc2;
+      assumptions = packets_equal enc1 enc2 @ envs_equal enc1 enc2 @ extra_assumptions;
+      goal;
+    }
+  in
+  check enc1 prop
+
+let equivalent net1 net2 opts =
+  let enc1 = Encode.build ~suffix:"@1" net1 opts in
+  let enc2 = Encode.build ~suffix:"@2" net2 opts in
+  let fwd_equal =
+    List.concat_map
+      (fun d ->
+        List.map
+          (fun h -> T.iff (Encode.datafwd enc1 d h) (Encode.datafwd enc2 d h))
+          (Encode.hops enc1 d))
+      (Encode.devices enc1)
+  in
+  let exports_equal =
+    List.concat_map
+      (fun d ->
+        List.filter_map
+          (fun (p, _) ->
+            match List.assoc_opt p (Encode.external_peers enc2 d) with
+            | Some _ ->
+              Some (record_eq (Encode.export_to_external enc1 d p) (Encode.export_to_external enc2 d p))
+            | None -> None)
+          (Encode.external_peers enc1 d))
+      (Encode.devices enc1)
+  in
+  two_copy_check enc1 enc2 ~extra_assumptions:[] ~goal:(T.and_ (fwd_equal @ exports_equal))
+
+let fault_invariant net opts ~k ~sources dest =
+  let enc1 = Encode.build ~suffix:"@ok" net { opts with Options.max_failures = None } in
+  let enc2 =
+    Encode.build ~suffix:"@fail" net
+      { opts with Options.max_failures = Some k; fail_internal_only = true }
+  in
+  let reach1, defs1 = Property.reach_terms enc1 dest in
+  let reach2, defs2 = Property.reach_terms enc2 dest in
+  let goal = T.and_ (List.map (fun s -> T.iff (reach1 s) (reach2 s)) sources) in
+  let prop =
+    {
+      Property.instrumentation = Encode.assertions enc2 @ defs1 @ defs2;
+      assumptions =
+        packets_equal enc1 enc2 @ envs_equal enc1 enc2
+        @ Property.(
+            let p1 = (reachability enc1 ~sources dest).assumptions in
+            p1);
+      goal;
+    }
+  in
+  check enc1 prop

@@ -1,0 +1,26 @@
+(** Top-level verification entry points.
+
+    [check enc prop] asserts the network semantics, the property's
+    instrumentation and assumptions, and the negation of its goal.
+    UNSAT ⇒ the property [Holds] in every stable state, for every packet
+    and environment; SAT ⇒ a [Violation] with a decoded counterexample. *)
+
+type outcome = Holds | Violation of Counterexample.t
+
+val check : Encode.t -> Property.t -> outcome
+
+val check_with_stats : Encode.t -> Property.t -> outcome * Smt.Solver.stats
+
+val verify : Config.Ast.network -> Options.t -> (Encode.t -> Property.t) -> outcome
+(** Convenience: build the encoding and check one property. *)
+
+val equivalent : Config.Ast.network -> Config.Ast.network -> Options.t -> outcome
+(** Full equivalence (§5): under pointwise-equal environments and the
+    same packet, both networks make identical forwarding decisions and
+    external exports.  Devices and peerings are matched by name. *)
+
+val fault_invariant :
+  Config.Ast.network -> Options.t -> k:int -> sources:string list -> Property.destination -> outcome
+(** Fault-invariance testing (§5): reachability of the destination from
+    each source is identical between a failure-free copy and a copy
+    with up to [k] failures. *)

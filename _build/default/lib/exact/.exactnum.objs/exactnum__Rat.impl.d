@@ -1,0 +1,1 @@
+lib/exact/rat.ml: Bigint Format String

@@ -1,0 +1,1 @@
+lib/exact/rat.mli: Bigint Format

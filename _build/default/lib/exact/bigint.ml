@@ -1,0 +1,278 @@
+(* Sign-magnitude bignum, base 2^30 little-endian.  Invariants:
+   - [mag] has no leading (most-significant) zero limbs;
+   - [sign = 0] iff [mag] is empty; otherwise [sign] is [-1] or [1]. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sign; mag }
+  else { sign; mag = Array.sub mag 0 !n }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    (* min_int negation overflows; go through the absolute value limb by
+       limb using the sign-aware remainder instead. *)
+    let rec limbs n acc =
+      if n = 0 then acc
+      else limbs (n / base) ((abs (n mod base)) :: acc)
+    in
+    let l = List.rev (limbs n []) in
+    { sign; mag = Array.of_list l }
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+let sign t = t.sign
+let is_zero t = t.sign = 0
+
+let mag_compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  r
+
+(* Requires |a| >= |b|. *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  r
+
+let mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        (* ai * bj <= (2^30-1)^2 < 2^60; fits in a 63-bit int with carry. *)
+        let s = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- s land base_mask;
+        carry := s lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land base_mask;
+        carry := s lsr base_bits;
+        incr k
+      done
+    done;
+    r
+  end
+
+let add x y =
+  if x.sign = 0 then y
+  else if y.sign = 0 then x
+  else if x.sign = y.sign then normalize x.sign (mag_add x.mag y.mag)
+  else begin
+    match mag_compare x.mag y.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize x.sign (mag_sub x.mag y.mag)
+    | _ -> normalize y.sign (mag_sub y.mag x.mag)
+  end
+
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let sub x y = add x (neg y)
+let abs x = if x.sign < 0 then neg x else x
+
+let mul x y =
+  if x.sign = 0 || y.sign = 0 then zero
+  else normalize (x.sign * y.sign) (mag_mul x.mag y.mag)
+
+let compare x y =
+  if x.sign <> y.sign then compare x.sign y.sign
+  else if x.sign >= 0 then mag_compare x.mag y.mag
+  else mag_compare y.mag x.mag
+
+let equal x y = compare x y = 0
+
+let hash t =
+  Array.fold_left (fun acc limb -> (acc * 31) + limb) t.sign t.mag land max_int
+
+let nbits mag =
+  let l = Array.length mag in
+  if l = 0 then 0
+  else begin
+    let top = mag.(l - 1) in
+    let rec width n = if top lsr n = 0 then n else width (n + 1) in
+    ((l - 1) * base_bits) + width 1
+  end
+
+let get_bit mag i =
+  let limb = i / base_bits and off = i mod base_bits in
+  if limb >= Array.length mag then 0 else (mag.(limb) lsr off) land 1
+
+(* Binary long division of magnitudes: returns (quotient, remainder). *)
+let mag_divmod a b =
+  if Array.length b = 0 then raise Division_by_zero;
+  let n = nbits a in
+  let q = Array.make (max 1 (Array.length a)) 0 in
+  (* Mutable remainder held in a growable buffer of limbs. *)
+  let r = Array.make (Array.length b + 1) 0 in
+  let rlen = ref 0 in
+  let r_shift_add_bit bit =
+    (* r := r*2 + bit *)
+    let carry = ref bit in
+    for i = 0 to !rlen - 1 do
+      let v = (r.(i) lsl 1) lor !carry in
+      r.(i) <- v land base_mask;
+      carry := v lsr base_bits
+    done;
+    if !carry <> 0 then begin
+      r.(!rlen) <- !carry;
+      incr rlen
+    end
+  in
+  let r_geq_b () =
+    let lb = Array.length b in
+    if !rlen <> lb then !rlen > lb
+    else begin
+      let rec go i = if i < 0 then true else if r.(i) <> b.(i) then r.(i) > b.(i) else go (i - 1) in
+      go (lb - 1)
+    end
+  in
+  let r_sub_b () =
+    let lb = Array.length b in
+    let borrow = ref 0 in
+    for i = 0 to !rlen - 1 do
+      let d = r.(i) - (if i < lb then b.(i) else 0) - !borrow in
+      if d < 0 then begin
+        r.(i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        r.(i) <- d;
+        borrow := 0
+      end
+    done;
+    while !rlen > 0 && r.(!rlen - 1) = 0 do
+      decr rlen
+    done
+  in
+  for i = n - 1 downto 0 do
+    r_shift_add_bit (get_bit a i);
+    if r_geq_b () then begin
+      r_sub_b ();
+      q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+    end
+  done;
+  (q, Array.sub r 0 !rlen)
+
+let divmod x y =
+  if y.sign = 0 then raise Division_by_zero;
+  if x.sign = 0 then (zero, zero)
+  else begin
+    let q, r = mag_divmod x.mag y.mag in
+    (normalize (x.sign * y.sign) q, normalize x.sign r)
+  end
+
+let rec gcd x y =
+  let x = abs x and y = abs y in
+  if is_zero y then x
+  else begin
+    let _, r = divmod x y in
+    gcd y r
+  end
+
+let to_int_opt t =
+  (* A native int holds at most 3 limbs (62 bits > 60), so accumulate and
+     watch for overflow via float-free bounds checks. *)
+  let l = Array.length t.mag in
+  if l = 0 then Some 0
+  else if l > 3 then None
+  else begin
+    let v = ref 0 in
+    let ok = ref true in
+    for i = l - 1 downto 0 do
+      if !v > (max_int - t.mag.(i)) lsr base_bits then ok := false
+      else v := (!v lsl base_bits) lor t.mag.(i)
+    done;
+    if not !ok then None
+    else if t.sign >= 0 then Some !v
+    else Some (- !v)
+  end
+
+let to_float t =
+  let m = Array.fold_right (fun limb acc -> (acc *. float_of_int base) +. float_of_int limb) t.mag 0.0 in
+  if t.sign < 0 then -.m else m
+
+let ten_pow_9 = of_int 1_000_000_000
+
+let to_string t =
+  if is_zero t then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec chunks v acc =
+      if is_zero v then acc
+      else begin
+        let q, r = divmod v ten_pow_9 in
+        let r = match to_int_opt r with Some n -> n | None -> assert false in
+        chunks q (r :: acc)
+      end
+    in
+    (match chunks (abs t) [] with
+     | [] -> assert false
+     | first :: rest ->
+       if t.sign < 0 then Buffer.add_char buf '-';
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty";
+  let negative = s.[0] = '-' in
+  let start = if negative then 1 else 0 in
+  if start >= len then invalid_arg "Bigint.of_string: missing digits";
+  let acc = ref zero in
+  let ten = of_int 10 in
+  for i = start to len - 1 do
+    match s.[i] with
+    | '0' .. '9' -> acc := add (mul !acc ten) (of_int (Char.code s.[i] - Char.code '0'))
+    | c -> invalid_arg (Printf.sprintf "Bigint.of_string: bad character %C" c)
+  done;
+  if negative then neg !acc else !acc
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

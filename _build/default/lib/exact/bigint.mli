@@ -1,0 +1,47 @@
+(** Arbitrary-precision signed integers.
+
+    A small, dependency-free bignum sufficient for the exact-rational
+    simplex in [Smt.Simplex].  Values are immutable.  Representation is
+    sign + magnitude in base 2{^30}. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int_opt : t -> int option
+(** [to_int_opt x] is [Some n] when [x] fits in a native [int]. *)
+
+val to_float : t -> float
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [|r| < |b|] and [r]
+    carrying the sign of [a] (truncated division).
+    @raise Division_by_zero when [b] is zero. *)
+
+val gcd : t -> t -> t
+(** Greatest common divisor; always non-negative. [gcd 0 0 = 0]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val of_string : string -> t
+(** Decimal, optionally preceded by ['-'].
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+(* Invariant: den > 0 and gcd (|num|, den) = 1 (with num = 0 => den = 1). *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let normalize num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
+    let g = Bigint.gcd num den in
+    let num, _ = Bigint.divmod num g in
+    let den, _ = Bigint.divmod den g in
+    { num; den }
+  end
+
+let make num den = normalize num den
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints n d = normalize (Bigint.of_int n) (Bigint.of_int d)
+
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let num t = t.num
+let den t = t.den
+let sign t = Bigint.sign t.num
+let is_zero t = Bigint.is_zero t.num
+
+let neg t = { t with num = Bigint.neg t.num }
+let abs t = { t with num = Bigint.abs t.num }
+
+let add a b =
+  normalize
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = normalize (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+let div a b = normalize (Bigint.mul a.num b.den) (Bigint.mul a.den b.num)
+let inv a = normalize a.den a.num
+
+let compare a b = Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+let equal a b = compare a b = 0
+let leq a b = compare a b <= 0
+let lt a b = compare a b < 0
+let geq a b = compare a b >= 0
+let gt a b = compare a b > 0
+let min a b = if leq a b then a else b
+let max a b = if geq a b then a else b
+
+let to_float t = Bigint.to_float t.num /. Bigint.to_float t.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    make
+      (Bigint.of_string (String.sub s 0 i))
+      (Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)))
+  | None ->
+    (match String.index_opt s '.' with
+     | None -> of_bigint (Bigint.of_string s)
+     | Some i ->
+       let whole = String.sub s 0 i in
+       let frac = String.sub s (i + 1) (String.length s - i - 1) in
+       let negative = String.length whole > 0 && whole.[0] = '-' in
+       let scale =
+         let rec pow acc n = if n = 0 then acc else pow (Bigint.mul acc (Bigint.of_int 10)) (n - 1) in
+         pow Bigint.one (String.length frac)
+       in
+       let whole_part = if whole = "" || whole = "-" then Bigint.zero else Bigint.of_string whole in
+       let frac_part = if frac = "" then Bigint.zero else Bigint.of_string frac in
+       let mag = Bigint.add (Bigint.mul (Bigint.abs whole_part) scale) frac_part in
+       make (if negative then Bigint.neg mag else mag) scale)
+
+let to_string t =
+  if Bigint.equal t.den Bigint.one then Bigint.to_string t.num
+  else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

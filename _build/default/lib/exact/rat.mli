@@ -1,0 +1,51 @@
+(** Exact rational numbers built on {!Bigint}.
+
+    Values are kept normalized: the denominator is positive and the
+    numerator/denominator pair is in lowest terms. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+val of_ints : int -> int -> t
+(** [of_ints n d] is the rational n/d. @raise Division_by_zero if [d = 0]. *)
+
+val of_bigint : Bigint.t -> t
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den]. @raise Division_by_zero if [den] is zero. *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val sign : t -> int
+val is_zero : t -> bool
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+val lt : t -> t -> bool
+val geq : t -> t -> bool
+val gt : t -> t -> bool
+
+val to_float : t -> float
+val of_string : string -> t
+(** Accepts ["n"], ["-n"], ["n/d"] and decimal notation ["a.b"]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/generators/enterprise.ml: Config Hashtbl List Net Printf Random

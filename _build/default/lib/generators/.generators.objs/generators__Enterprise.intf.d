@@ -1,0 +1,1 @@
+lib/generators/enterprise.mli: Config Net

@@ -1,0 +1,1 @@
+lib/generators/fattree.ml: Config Hashtbl List Net Printf String

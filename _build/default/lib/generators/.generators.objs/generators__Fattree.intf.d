@@ -1,0 +1,1 @@
+lib/generators/fattree.mli: Config Net

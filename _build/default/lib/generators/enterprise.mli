@@ -1,0 +1,37 @@
+(** Synthetic "enterprise" networks matching the statistics of the 152
+    real networks analysed in §8.1: 2–25 routers, OSPF internally, one
+    or two BGP edge routers with external peers and iBGP between them,
+    static routes, per-role ACLs, route redistribution, and management
+    interfaces on every device.
+
+    Three §8.1 violation classes can be injected:
+    - [hijack]: an edge router's import policy fails to protect the
+      management address space, so an external announcement of a more
+      specific prefix diverts management traffic;
+    - [acl_gap]: one router of the rack role misses an ACL entry its
+      peers have (copy-paste inconsistency ⇒ local-equivalence
+      violation);
+    - [deep_drop]: a bogon filter is enforced in the network core
+      instead of at the edge (blackhole violation). *)
+
+type inject = { hijack : bool; acl_gap : bool; deep_drop : bool }
+
+val no_bugs : inject
+
+type t = {
+  network : Config.Ast.network;
+  mgmt_prefix : string -> Net.Prefix.t;  (** management subnet of a device *)
+  rack_subnet : string -> Net.Prefix.t;  (** a rack's host subnet *)
+  edge_routers : string list;  (** devices with external BGP peerings *)
+  rack_role : string list;  (** devices sharing the "rack" role *)
+  injected : inject;
+}
+
+val make : ?bulk:int -> seed:int -> routers:int -> inject:inject -> unit -> t
+(** [bulk] pads prefix lists and ACLs with extra (semantically inert)
+    entries to reach realistic configuration sizes. *)
+
+val fleet : unit -> t list
+(** The 152-network benchmark fleet with the §8.1 violation
+    distribution: 67 hijacks, 29 ACL inconsistencies, 24 deep drops, 32
+    clean networks.  Deterministic. *)

@@ -1,0 +1,23 @@
+(** Folded-Clos (fat-tree) data centers in the style of the paper's
+    synthetic benchmarks (§8.2, Figure 8): BGP on every device with
+    multipath enabled, a /24 per top-of-rack switch, and core (spine)
+    routers peering with an external backbone behind route filters.
+
+    With [pods = k] (even), the topology has k pods of k/2 ToR and k/2
+    aggregation routers plus (k/2)² cores: 5, 45, 125, 245 and 405
+    routers for k = 2, 6, 10, 14, 18 — the sizes in Figure 8. *)
+
+type t = {
+  network : Config.Ast.network;
+  pods : int;
+  tors : string list;
+  aggregations : string list;
+  cores : string list;
+  tor_subnet : string -> Net.Prefix.t;  (** the /24 advertised by a ToR *)
+  core_peer : string -> string;  (** external peer name at a core router *)
+}
+
+val make : pods:int -> t
+(** @raise Invalid_argument when [pods] is odd or < 2. *)
+
+val num_routers : pods:int -> int

@@ -1,0 +1,1 @@
+lib/net/prefix.ml: Format Ipv4 Map Printf Set Stdlib String

@@ -1,0 +1,32 @@
+type t = { asn : int; value : int }
+
+let make asn value =
+  if asn < 0 || asn > 0xffff || value < 0 || value > 0xffff then
+    invalid_arg "Community.make: out of range";
+  { asn; value }
+
+let of_string_opt s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i ->
+    let a = String.sub s 0 i and v = String.sub s (i + 1) (String.length s - i - 1) in
+    (match (int_of_string_opt a, int_of_string_opt v) with
+     | Some a, Some v when a >= 0 && a <= 0xffff && v >= 0 && v <= 0xffff ->
+       Some { asn = a; value = v }
+     | _ -> None)
+
+let of_string s =
+  match of_string_opt s with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Community.of_string: %S" s)
+
+let to_string c = Printf.sprintf "%d:%d" c.asn c.value
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+let compare a b = Stdlib.compare (a.asn, a.value) (b.asn, b.value)
+let equal a b = compare a b = 0
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,15 @@
+(** BGP community values, written ["asn:value"]. *)
+
+type t = { asn : int; value : int }
+
+val make : int -> int -> t
+val of_string : string -> t
+(** @raise Invalid_argument on malformed input. *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+module Set : Set.S with type elt = t

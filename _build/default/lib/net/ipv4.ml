@@ -1,0 +1,39 @@
+type t = int
+
+let zero = 0
+let max = (1 lsl 32) - 1
+
+let of_octets a b c d =
+  let check o = if o < 0 || o > 255 then invalid_arg "Ipv4.of_octets: octet out of range" in
+  check a;
+  check b;
+  check c;
+  check d;
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let of_string_opt s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] ->
+    (try
+       let parse x =
+         if x = "" || String.exists (fun ch -> ch < '0' || ch > '9') x then raise Exit
+         else int_of_string x
+       in
+       let a = parse a and b = parse b and c = parse c and d = parse d in
+       if a > 255 || b > 255 || c > 255 || d > 255 then None else Some (of_octets a b c d)
+     with Exit | Failure _ -> None)
+  | _ -> None
+
+let of_string s =
+  match of_string_opt s with
+  | Some ip -> ip
+  | None -> invalid_arg (Printf.sprintf "Ipv4.of_string: %S" s)
+
+let octet ip i =
+  if i < 0 || i > 3 then invalid_arg "Ipv4.octet";
+  (ip lsr ((3 - i) * 8)) land 0xff
+
+let to_string ip = Printf.sprintf "%d.%d.%d.%d" (octet ip 0) (octet ip 1) (octet ip 2) (octet ip 3)
+let pp fmt ip = Format.pp_print_string fmt (to_string ip)
+let compare = Stdlib.compare
+let equal = Int.equal

@@ -1,0 +1,21 @@
+(** IPv4 addresses, represented as integers in [0, 2^32). *)
+
+type t = int
+
+val zero : t
+val max : t
+
+val of_octets : int -> int -> int -> int -> t
+(** @raise Invalid_argument if any octet is outside [0, 255]. *)
+
+val of_string : string -> t
+(** Dotted-quad notation. @raise Invalid_argument on malformed input. *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val octet : t -> int -> int
+(** [octet ip i] is the [i]-th octet, 0 being the most significant. *)

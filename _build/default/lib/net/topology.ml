@@ -1,0 +1,38 @@
+type endpoint = { device : string; interface : string }
+type link = { a : endpoint; b : endpoint }
+
+module Smap = Map.Make (String)
+
+type t = { devs : unit Smap.t; edges : link list }
+
+let empty = { devs = Smap.empty; edges = [] }
+let add_device t name = { t with devs = Smap.add name () t.devs }
+
+let add_link t link =
+  if link.a.device = link.b.device then invalid_arg "Topology.add_link: self-link";
+  let t = add_device (add_device t link.a.device) link.b.device in
+  { t with edges = link :: t.edges }
+
+let devices t = List.map fst (Smap.bindings t.devs)
+let links t = List.rev t.edges
+let has_device t name = Smap.mem name t.devs
+
+let neighbors t name =
+  List.filter_map
+    (fun l ->
+      if l.a.device = name then Some (l.a.interface, l.b.device, l.b.interface)
+      else if l.b.device = name then Some (l.b.interface, l.a.device, l.a.interface)
+      else None)
+    (links t)
+
+let peer t name iface =
+  List.find_map
+    (fun l ->
+      if l.a.device = name && l.a.interface = iface then Some (l.b.device, l.b.interface)
+      else if l.b.device = name && l.b.interface = iface then Some (l.a.device, l.a.interface)
+      else None)
+    t.edges
+
+let degree t name = List.length (neighbors t name)
+let num_devices t = Smap.cardinal t.devs
+let num_links t = List.length t.edges

@@ -1,0 +1,35 @@
+(** Network topologies: named routers connected by point-to-point links
+    between named interfaces. *)
+
+type endpoint = { device : string; interface : string }
+
+type link = { a : endpoint; b : endpoint }
+
+type t
+
+val empty : t
+val add_device : t -> string -> t
+(** Idempotent. *)
+
+val add_link : t -> link -> t
+(** Adds both devices if missing.
+    @raise Invalid_argument for self-links. *)
+
+val devices : t -> string list
+(** Sorted device names. *)
+
+val links : t -> link list
+
+val has_device : t -> string -> bool
+
+val neighbors : t -> string -> (string * string * string) list
+(** [neighbors t d] is [(local_interface, peer_device, peer_interface)]
+    for every link incident to [d]. *)
+
+val peer : t -> string -> string -> (string * string) option
+(** [peer t d iface] is the [(device, interface)] on the other side of
+    the link attached to [d.iface], if any. *)
+
+val degree : t -> string -> int
+val num_devices : t -> int
+val num_links : t -> int

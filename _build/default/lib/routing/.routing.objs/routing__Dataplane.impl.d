@@ -1,0 +1,1 @@
+lib/routing/dataplane.ml: Config Format List Net Route Simulator String

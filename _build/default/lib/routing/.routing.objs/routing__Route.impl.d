@@ -1,0 +1,1 @@
+lib/routing/route.ml: Config Format Net

@@ -1,0 +1,1 @@
+lib/routing/route.mli: Config Format Net

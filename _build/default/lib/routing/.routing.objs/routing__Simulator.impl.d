@@ -1,0 +1,1 @@
+lib/routing/simulator.ml: Config List Map Net Option Route String

@@ -1,0 +1,1 @@
+lib/routing/simulator.mli: Config Net Route

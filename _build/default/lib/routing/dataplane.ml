@@ -1,0 +1,121 @@
+module A = Config.Ast
+
+type outcome =
+  | Delivered of string
+  | Left_network of string * string
+  | No_route of string
+  | Null_routed of string
+  | Acl_denied of string * string
+  | Forwarding_loop of string list
+
+type trace = { outcome : outcome; path : string list }
+
+(* The interface pair used when [d] forwards to [d2]. *)
+let link_interfaces net d d2 =
+  List.find_map
+    (fun (local_if, peer, peer_if) -> if peer = d2 then Some (local_if, peer_if) else None)
+    (Net.Topology.neighbors net.A.net_topology d)
+
+let acl_check dev iface_name ~dir ip =
+  match A.find_interface dev iface_name with
+  | None -> None
+  | Some i ->
+    let acl_name = match dir with `In -> i.A.if_acl_in | `Out -> i.A.if_acl_out in
+    (match acl_name with
+     | None -> None
+     | Some name ->
+       (match A.find_acl dev name with
+        | None -> None (* undefined ACL treated as permit *)
+        | Some acl -> if A.acl_permits acl ip then None else Some name))
+
+(* One forwarding step of a packet to [ip] currently at [d].  Multiple
+   results when ECMP spreads the traffic. *)
+let steps net state d ip =
+  let routes = Simulator.lookup state d ip in
+  match routes with
+  | [] -> [ `Stop (No_route d) ]
+  | routes ->
+    List.map
+      (fun (r : Route.t) ->
+        match r.Route.action with
+        | Route.Receive ->
+          (* delivery passes the out-ACL of the attached interface *)
+          (match A.find_device net d with
+           | None -> `Stop (Delivered d)
+           | Some dev ->
+             let denied =
+               List.find_map
+                 (fun (i : A.interface) ->
+                   match i.A.if_prefix with
+                   | Some p when Net.Prefix.contains p ip ->
+                     acl_check dev i.A.if_name ~dir:`Out ip
+                   | Some _ | None -> None)
+                 dev.A.dev_interfaces
+             in
+             (match denied with
+              | Some acl -> `Stop (Acl_denied (d, acl))
+              | None -> `Stop (Delivered d)))
+        | Route.Discard -> `Stop (Null_routed d)
+        | Route.Forward_external peer -> `Stop (Left_network (d, peer))
+        | Route.Forward d2 ->
+          (match A.find_device net d with
+           | None -> `Stop (No_route d)
+           | Some dev ->
+             (match link_interfaces net d d2 with
+              | None -> `Hop d2 (* no physical link recorded; forward logically *)
+              | Some (out_if, in_if) ->
+                (match acl_check dev out_if ~dir:`Out ip with
+                 | Some acl -> `Stop (Acl_denied (d, acl))
+                 | None ->
+                   (match A.find_device net d2 with
+                    | None -> `Hop d2
+                    | Some dev2 ->
+                      (match acl_check dev2 in_if ~dir:`In ip with
+                       | Some acl -> `Stop (Acl_denied (d2, acl))
+                       | None -> `Hop d2))))))
+      routes
+
+let rec walk net state d ip visited path =
+  if List.mem d visited then [ { outcome = Forwarding_loop (List.rev (d :: path)); path = List.rev path } ]
+  else begin
+    let path = d :: path in
+    let visited = d :: visited in
+    List.concat_map
+      (function
+        | `Stop outcome -> [ { outcome; path = List.rev path } ]
+        | `Hop d2 -> walk net state d2 ip visited path)
+      (steps net state d ip)
+  end
+
+let trace_all net state ~src ~dst = walk net state src dst [] []
+
+let trace net state ~src ~dst =
+  (* deterministic: follow the first choice at every hop *)
+  let rec go d visited path =
+    if List.mem d visited then { outcome = Forwarding_loop (List.rev (d :: path)); path = List.rev path }
+    else begin
+      let path = d :: path in
+      let visited = d :: visited in
+      match steps net state d dst with
+      | `Stop outcome :: _ -> { outcome; path = List.rev path }
+      | `Hop d2 :: _ -> go d2 visited path
+      | [] -> { outcome = No_route d; path = List.rev path }
+    end
+  in
+  go src [] []
+
+let reachable net state ~src ~dst =
+  List.exists
+    (fun t -> match t.outcome with Delivered _ | Left_network _ -> true | _ -> false)
+    (trace_all net state ~src ~dst)
+
+let pp_outcome fmt = function
+  | Delivered d -> Format.fprintf fmt "delivered at %s" d
+  | Left_network (d, p) -> Format.fprintf fmt "left network at %s via %s" d p
+  | No_route d -> Format.fprintf fmt "no route at %s" d
+  | Null_routed d -> Format.fprintf fmt "null-routed at %s" d
+  | Acl_denied (d, acl) -> Format.fprintf fmt "denied by acl %s at %s" acl d
+  | Forwarding_loop ds -> Format.fprintf fmt "loop: %s" (String.concat " -> " ds)
+
+let pp_trace fmt t =
+  Format.fprintf fmt "%s : %a" (String.concat " -> " t.path) pp_outcome t.outcome

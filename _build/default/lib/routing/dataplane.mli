@@ -1,0 +1,26 @@
+(** Concrete forwarding derived from a {!Simulator.state}: trace a
+    packet hop by hop, applying interface ACLs, and classify the
+    outcome. *)
+
+type outcome =
+  | Delivered of string  (** destination device (locally attached) *)
+  | Left_network of string * string  (** last device, external peer *)
+  | No_route of string  (** black hole: device had no matching FIB entry *)
+  | Null_routed of string  (** matched a discard route *)
+  | Acl_denied of string * string  (** device enforcing the ACL, ACL name *)
+  | Forwarding_loop of string list  (** devices on the loop *)
+
+type trace = { outcome : outcome; path : string list  (** devices visited in order *) }
+
+val trace : Config.Ast.network -> Simulator.state -> src:string -> dst:Net.Ipv4.t -> trace
+(** Follow the first (deterministic) ECMP choice at each hop. *)
+
+val trace_all : Config.Ast.network -> Simulator.state -> src:string -> dst:Net.Ipv4.t -> trace list
+(** Explore every ECMP branch; one trace per distinct forwarding path. *)
+
+val reachable : Config.Ast.network -> Simulator.state -> src:string -> dst:Net.Ipv4.t -> bool
+(** True when {e some} ECMP path delivers the packet (to an attached
+    destination or out to an external peer when the destination lies
+    beyond the network edge). *)
+
+val pp_trace : Format.formatter -> trace -> unit

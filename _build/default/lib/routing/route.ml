@@ -1,0 +1,54 @@
+type action = Receive | Forward of string | Forward_external of string | Discard
+
+type t = {
+  prefix : Net.Prefix.t;
+  proto : Config.Ast.protocol;
+  ad : int;
+  lp : int;
+  metric : int;
+  med : int;
+  rid : int;
+  bgp_internal : bool;
+  as_path : int list;
+  communities : Net.Community.Set.t;
+  action : action;
+}
+
+(* Negative when [a] is preferred over [b]. *)
+let compare_preference a b =
+  let c = compare a.ad b.ad in
+  if c <> 0 then c
+  else begin
+    let c = compare b.lp a.lp in
+    if c <> 0 then c
+    else begin
+      let c = compare a.metric b.metric in
+      if c <> 0 then c
+      else begin
+        let c = compare a.med b.med in
+        if c <> 0 then c
+        else begin
+          let c = compare a.bgp_internal b.bgp_internal in
+          (* false (eBGP) < true (iBGP): eBGP preferred *)
+          if c <> 0 then c else compare a.rid b.rid
+        end
+      end
+    end
+  end
+
+let equally_good a b =
+  a.ad = b.ad && a.lp = b.lp && a.metric = b.metric && a.med = b.med
+  && a.bgp_internal = b.bgp_internal
+
+let pp_action fmt = function
+  | Receive -> Format.pp_print_string fmt "receive"
+  | Forward d -> Format.fprintf fmt "fwd %s" d
+  | Forward_external n -> Format.fprintf fmt "fwd-ext %s" n
+  | Discard -> Format.pp_print_string fmt "discard"
+
+let pp fmt r =
+  Format.fprintf fmt "%a [%s ad=%d lp=%d metric=%d med=%d%s] -> %a" Net.Prefix.pp r.prefix
+    (Config.Ast.protocol_to_string r.proto)
+    r.ad r.lp r.metric r.med
+    (if r.bgp_internal then " ibgp" else "")
+    pp_action r.action

@@ -1,0 +1,49 @@
+(** Concrete control-plane simulator (the Batfish-style oracle).
+
+    Runs a synchronous fixed-point computation of the routing protocols
+    configured on every device — connected and static routes, OSPF
+    (modelled as shortest paths over configured link costs), and BGP
+    (eBGP and iBGP with route maps, communities, aggregation and route
+    reflection) including route redistribution — under a concrete
+    {!env}ironment: a set of external route announcements and a set of
+    failed links.
+
+    The result assigns every device its per-protocol and overall RIBs,
+    from which the {!Dataplane} module derives forwarding behaviour. *)
+
+type advertisement = {
+  adv_prefix : Net.Prefix.t;
+  adv_path_len : int;  (** AS-path length as announced by the peer *)
+  adv_med : int;
+  adv_communities : Net.Community.Set.t;
+}
+
+type env = {
+  external_ads : (string * Net.Ipv4.t * advertisement) list;
+      (** (device, configured neighbor ip, advertisement) *)
+  failed_links : (string * string) list;  (** unordered internal pairs *)
+}
+
+val empty_env : env
+
+type state
+
+val run : ?max_rounds:int -> Config.Ast.network -> env -> state
+(** Compute the stable state.  [max_rounds] defaults to a bound
+    proportional to the network size; {!converged} reports whether a
+    fixed point was actually reached. *)
+
+val converged : state -> bool
+
+val overall_rib : state -> string -> Route.t list
+(** Best routes (all protocols merged, ECMP ties included) at a device,
+    sorted by prefix. *)
+
+val proto_rib : state -> string -> Config.Ast.protocol -> Route.t list
+
+val lookup : state -> string -> Net.Ipv4.t -> Route.t list
+(** Longest-prefix-match lookup: the FIB entries a packet to the given
+    address would use at the device ([[]] = no route). *)
+
+val external_peer_name : Net.Ipv4.t -> string
+(** Canonical name used for an unresolved (external) BGP neighbor. *)

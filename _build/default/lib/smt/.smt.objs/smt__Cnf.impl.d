@@ -1,0 +1,1 @@
+lib/smt/cnf.ml: Array Buffer Exactnum Hashtbl Linexp List Sat Sort Term

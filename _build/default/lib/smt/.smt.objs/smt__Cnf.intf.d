@@ -1,0 +1,1 @@
+lib/smt/cnf.mli: Exactnum Sat Term

@@ -1,0 +1,1 @@
+lib/smt/idl.ml: Array List Queue

@@ -1,0 +1,1 @@
+lib/smt/idl_inc.ml: Array List Queue Vec

@@ -1,0 +1,1 @@
+lib/smt/linexp.ml: Exactnum Hashtbl Int List Map Sort Stdlib Term

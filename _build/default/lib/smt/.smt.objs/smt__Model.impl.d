@@ -1,0 +1,1 @@
+lib/smt/model.ml: Exactnum Format Hashtbl List Sort Term

@@ -1,0 +1,1 @@
+lib/smt/smtlib.ml: Buffer Exactnum Hashtbl List Printf Sort String Term

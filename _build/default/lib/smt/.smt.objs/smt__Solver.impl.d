@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Array Cnf Exactnum Idl_inc List Model Sat Simplex

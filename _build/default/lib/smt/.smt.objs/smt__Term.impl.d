@@ -1,0 +1,1 @@
+lib/smt/term.ml: Exactnum Format Hashtbl Int List Printf Set Sort Stdlib String

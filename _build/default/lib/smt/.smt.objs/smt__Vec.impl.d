@@ -1,0 +1,1 @@
+lib/smt/vec.ml: Array List

@@ -1,0 +1,143 @@
+type constr = { x : int; y : int; k : int; tag : int }
+
+(* Constraint [x - y <= k] becomes edge [y --k--> x]; with a (virtual)
+   super-source at distance 0 from every node, shortest distances [d]
+   satisfy [d.(x) <= d.(y) + k], i.e. the distances themselves are a
+   model.  A negative cycle is exactly an infeasible subset. *)
+
+(* Reference implementation: full Bellman–Ford rounds.  Used as a
+   fallback when the fast path cannot extract a cycle. *)
+let check_bf ~nvars constraints =
+  let edges = Array.of_list constraints in
+  let dist = Array.make (max nvars 1) 0 in
+  let pred = Array.make (max nvars 1) (-1) in
+  let improved = ref true in
+  let rounds = ref 0 in
+  let last_relaxed = ref (-1) in
+  while !improved && !rounds <= nvars do
+    improved := false;
+    Array.iteri
+      (fun i e ->
+        if dist.(e.y) + e.k < dist.(e.x) then begin
+          dist.(e.x) <- dist.(e.y) + e.k;
+          pred.(e.x) <- i;
+          improved := true;
+          last_relaxed := e.x
+        end)
+      edges;
+    incr rounds
+  done;
+  if not !improved then Ok dist
+  else begin
+    (* a node relaxed in round nvars+1 reaches a negative cycle by
+       following predecessor edges nvars times *)
+    let node = ref !last_relaxed in
+    for _ = 1 to nvars do
+      node := edges.(pred.(!node)).y
+    done;
+    let start = !node in
+    let tags = ref [] in
+    let continue = ref true in
+    while !continue do
+      let e = edges.(pred.(!node)) in
+      tags := e.tag :: !tags;
+      node := e.y;
+      if !node = start then continue := false
+    done;
+    Error !tags
+  end
+
+exception Cycle of int list
+exception Fallback
+
+(* Fast path: SPFA (queue-based Bellman–Ford).  A node relaxed more than
+   [nvars] times witnesses a negative cycle, extracted by walking
+   predecessor edges with marking. *)
+let check ~nvars constraints =
+  let n = max nvars 1 in
+  let edges = Array.of_list constraints in
+  if Array.length edges = 0 then Ok (Array.make n 0)
+  else begin
+    let adj = Array.make n [] in
+    Array.iteri (fun i e -> adj.(e.y) <- i :: adj.(e.y)) edges;
+    let dist = Array.make n 0 in
+    let pred = Array.make n (-1) in
+    let relaxations = Array.make n 0 in
+    let in_queue = Array.make n true in
+    let queue = Queue.create () in
+    for v = 0 to n - 1 do
+      Queue.push v queue
+    done;
+    let extract_cycle from_node =
+      let mark = Array.make n false in
+      let node = ref from_node in
+      (* walk to enter the cycle *)
+      let entered = ref (-1) in
+      (try
+         while true do
+           if mark.(!node) then begin
+             entered := !node;
+             raise Exit
+           end;
+           mark.(!node) <- true;
+           if pred.(!node) < 0 then raise Fallback;
+           node := edges.(pred.(!node)).y
+         done
+       with Exit -> ());
+      let start = !entered in
+      let tags = ref [] in
+      let cur = ref start in
+      let continue = ref true in
+      while !continue do
+        let e = edges.(pred.(!cur)) in
+        tags := e.tag :: !tags;
+        cur := e.y;
+        if !cur = start then continue := false
+      done;
+      raise (Cycle !tags)
+    in
+    match
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        in_queue.(u) <- false;
+        let du = dist.(u) in
+        List.iter
+          (fun i ->
+            let e = edges.(i) in
+            if du + e.k < dist.(e.x) then begin
+              dist.(e.x) <- du + e.k;
+              pred.(e.x) <- i;
+              relaxations.(e.x) <- relaxations.(e.x) + 1;
+              if relaxations.(e.x) > n then extract_cycle e.x;
+              if not in_queue.(e.x) then begin
+                in_queue.(e.x) <- true;
+                Queue.push e.x queue
+              end
+            end)
+          adj.(u)
+      done
+    with
+    | () -> Ok dist
+    | exception Cycle tags -> Error tags
+    | exception Fallback -> check_bf ~nvars constraints
+  end
+
+(* Collect up to [max_cores] independent negative cycles by repeatedly
+   removing the edges of each found cycle.  More learned clauses per
+   theory round means fewer SAT/theory iterations. *)
+let check_many ~nvars ~max_cores constraints =
+  let rec go remaining acc n =
+    if n = 0 then acc
+    else begin
+      match check ~nvars remaining with
+      | Ok _ -> acc
+      | Error tags ->
+        let remaining = List.filter (fun c -> not (List.mem c.tag tags)) remaining in
+        go remaining (tags :: acc) (n - 1)
+    end
+  in
+  match check ~nvars constraints with
+  | Ok model -> Ok model
+  | Error tags ->
+    let remaining = List.filter (fun c -> not (List.mem c.tag tags)) constraints in
+    Error (go remaining [ tags ] (max_cores - 1))

@@ -1,0 +1,23 @@
+(** Integer difference logic.
+
+    Decides conjunctions of constraints of the form [x - y <= k] over
+    integer variables, by negative-cycle detection in the constraint
+    graph (Bellman–Ford).  Constraints with a single variable are
+    expressed against a distinguished "zero" variable by the caller.
+
+    Each constraint carries a caller [tag]; on infeasibility the solver
+    returns the tags of a negative cycle, which is a minimal
+    inconsistent subset suitable for clause learning. *)
+
+type constr = { x : int; y : int; k : int; tag : int }
+(** The constraint [x - y <= k].  Variables are indices in [0, nvars). *)
+
+val check : nvars:int -> constr list -> (int array, int list) result
+(** [check ~nvars cs] is [Ok model] with [model.(v)] an integer
+    assignment satisfying every constraint, or [Error tags] with [tags]
+    the constraints of some negative cycle. *)
+
+val check_many :
+  nvars:int -> max_cores:int -> constr list -> (int array, int list list) result
+(** Like {!check} but, on infeasibility, greedily collects up to
+    [max_cores] edge-disjoint negative cycles (each a conflict core). *)

@@ -1,0 +1,103 @@
+type constr = { x : int; y : int; k : int; tag : int }
+
+type edge = { ex : int; ey : int; ek : int; etag : int; pos : int }
+
+type t = {
+  n : int;
+  d : int array;  (* feasible: d.(x) <= d.(y) + k for every edge *)
+  out : int Vec.t array;  (* edge indices by source node [ey] *)
+  edges : edge Vec.t;  (* assertion stack, trail order *)
+  pred_src : int array;  (* repair bookkeeping *)
+  pred_tag : int array;
+}
+
+let dummy_edge = { ex = 0; ey = 0; ek = 0; etag = 0; pos = -1 }
+
+let create ~nvars =
+  let n = max nvars 1 in
+  {
+    n;
+    d = Array.make n 0;
+    out = Array.init n (fun _ -> Vec.create ~dummy:(-1) ());
+    edges = Vec.create ~dummy:dummy_edge ();
+    pred_src = Array.make n (-1);
+    pred_tag = Array.make n (-1);
+  }
+
+exception Infeasible of int list
+
+let assert_constr t ~trail_pos (c : constr) =
+  if c.x < 0 || c.x >= t.n || c.y < 0 || c.y >= t.n then invalid_arg "Idl_inc.assert_constr";
+  if t.d.(c.x) <= t.d.(c.y) + c.k then begin
+    (* already satisfied by the current distance function *)
+    Vec.push t.edges { ex = c.x; ey = c.y; ek = c.k; etag = c.tag; pos = trail_pos };
+    Vec.push t.out.(c.y) (Vec.size t.edges - 1);
+    Ok ()
+  end
+  else begin
+    (* repair: lower d.(x) to d.(y) + k and propagate decreases; a
+       decrease reaching y again closes a negative cycle *)
+    let changes = ref [ (c.x, t.d.(c.x)) ] in
+    t.d.(c.x) <- t.d.(c.y) + c.k;
+    t.pred_src.(c.x) <- c.y;
+    t.pred_tag.(c.x) <- c.tag;
+    let queue = Queue.create () in
+    Queue.push c.x queue;
+    match
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        let du = t.d.(u) in
+        Vec.iter
+          (fun ei ->
+            let e = Vec.get t.edges ei in
+            if du + e.ek < t.d.(e.ex) then begin
+              if e.ex = c.y then begin
+                (* negative cycle: new edge + path x ~> u + edge u->y *)
+                let tags = ref [ c.tag; e.etag ] in
+                let cur = ref u in
+                let steps = ref 0 in
+                while !cur <> c.x && !steps <= t.n do
+                  tags := t.pred_tag.(!cur) :: !tags;
+                  cur := t.pred_src.(!cur);
+                  incr steps
+                done;
+                if !steps > t.n then begin
+                  (* defensive: a stale predecessor chain; fall back to
+                     the (sound, non-minimal) full asserted set *)
+                  tags := c.tag :: [];
+                  Vec.iter (fun (e : edge) -> tags := e.etag :: !tags) t.edges
+                end;
+                raise (Infeasible !tags)
+              end;
+              changes := (e.ex, t.d.(e.ex)) :: !changes;
+              t.d.(e.ex) <- du + e.ek;
+              t.pred_src.(e.ex) <- u;
+              t.pred_tag.(e.ex) <- e.etag;
+              Queue.push e.ex queue
+            end)
+          t.out.(u)
+      done
+    with
+    | () ->
+      Vec.push t.edges { ex = c.x; ey = c.y; ek = c.k; etag = c.tag; pos = trail_pos };
+      Vec.push t.out.(c.y) (Vec.size t.edges - 1);
+      Ok ()
+    | exception Infeasible tags ->
+      (* roll the distances back; the constraint is not committed *)
+      List.iter (fun (v, old) -> t.d.(v) <- old) !changes;
+      Error (List.sort_uniq compare tags)
+  end
+
+let backtrack t ~trail_size =
+  let continue = ref true in
+  while !continue && Vec.size t.edges > 0 do
+    let e = Vec.last t.edges in
+    if e.pos >= trail_size then begin
+      let _ = Vec.pop t.edges in
+      let idx = Vec.pop t.out.(e.ey) in
+      assert (idx = Vec.size t.edges)
+    end
+    else continue := false
+  done
+
+let model t = Array.copy t.d

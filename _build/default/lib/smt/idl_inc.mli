@@ -1,0 +1,25 @@
+(** Incremental integer difference logic for DPLL(T).
+
+    Maintains a feasible distance function for the asserted constraints
+    [x - y <= k].  Assertions are pushed with the SAT trail position
+    they correspond to, so {!backtrack} can pop them in sync with the
+    SAT solver's non-chronological backjumps.  Each assertion performs
+    an incremental feasibility repair (Cotton–Maler style): cost is
+    proportional to the affected region, and an infeasible assertion
+    reports the negative cycle's tags without being committed. *)
+
+type t
+
+type constr = { x : int; y : int; k : int; tag : int }
+
+val create : nvars:int -> t
+
+val assert_constr : t -> trail_pos:int -> constr -> (unit, int list) result
+(** [Error tags] is a negative cycle (including this constraint's tag);
+    the constraint is not committed in that case. *)
+
+val backtrack : t -> trail_size:int -> unit
+(** Pop every constraint asserted at a trail position [>= trail_size]. *)
+
+val model : t -> int array
+(** A satisfying assignment for the current constraints. *)

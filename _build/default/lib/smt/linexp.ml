@@ -1,0 +1,137 @@
+module Rat = Exactnum.Rat
+module Bigint = Exactnum.Bigint
+
+type t = { coeffs : (Term.t * Rat.t) list; const : Rat.t }
+
+exception Nonlinear of Term.t
+
+module Imap = Map.Make (Int)
+
+let of_term t =
+  (* Accumulate coefficients in a map keyed by term id. *)
+  let vars : Term.t Imap.t ref = ref Imap.empty in
+  let coeffs = ref Imap.empty in
+  let const = ref Rat.zero in
+  let add_coeff v q =
+    vars := Imap.add (Term.id v) v !vars;
+    coeffs :=
+      Imap.update (Term.id v)
+        (function None -> Some q | Some q0 -> Some (Rat.add q0 q))
+        !coeffs
+  in
+  let rec go scale (t : Term.t) =
+    match t.node with
+    | Term.Int_const n -> const := Rat.add !const (Rat.mul scale (Rat.of_int n))
+    | Term.Rat_const q -> const := Rat.add !const (Rat.mul scale q)
+    | Term.Var _ -> add_coeff t scale
+    | Term.Add (a, b) ->
+      go scale a;
+      go scale b
+    | Term.Sub (a, b) ->
+      go scale a;
+      go (Rat.neg scale) b
+    | Term.Scale (q, a) -> go (Rat.mul scale q) a
+    | Term.True | Term.False | Term.Not _ | Term.And _ | Term.Or _ | Term.Implies _
+    | Term.Iff _ | Term.Ite _ | Term.At_most _ | Term.Leq _ | Term.Lt _ | Term.Eq _
+    | Term.Bv_const _ | Term.Bv_and _ | Term.Bv_ule _ -> raise (Nonlinear t)
+  in
+  go Rat.one t;
+  let coeffs =
+    Imap.fold
+      (fun id q acc -> if Rat.is_zero q then acc else (Imap.find id !vars, q) :: acc)
+      !coeffs []
+  in
+  let coeffs = List.sort (fun (a, _) (b, _) -> Stdlib.compare (Term.id a) (Term.id b)) coeffs in
+  { coeffs; const = !const }
+
+let sub a b =
+  let negated = { coeffs = List.map (fun (v, q) -> (v, Rat.neg q)) b.coeffs; const = Rat.neg b.const } in
+  let m = Hashtbl.create 16 in
+  List.iter (fun (v, q) -> Hashtbl.replace m (Term.id v) (v, q)) a.coeffs;
+  List.iter
+    (fun (v, q) ->
+      match Hashtbl.find_opt m (Term.id v) with
+      | None -> Hashtbl.replace m (Term.id v) (v, q)
+      | Some (_, q0) -> Hashtbl.replace m (Term.id v) (v, Rat.add q0 q))
+    negated.coeffs;
+  let coeffs =
+    Hashtbl.fold (fun _ (v, q) acc -> if Rat.is_zero q then acc else (v, q) :: acc) m []
+    |> List.sort (fun (a, _) (b, _) -> Stdlib.compare (Term.id a) (Term.id b))
+  in
+  { coeffs; const = Rat.add a.const negated.const }
+
+type int_diff = { x : Term.t option; y : Term.t option; k : int }
+
+type classified =
+  | Trivial of bool
+  | Idl of int_diff
+  | Lra of { coeffs : (Term.t * Rat.t) list; bound : Rat.t }
+
+exception Not_difference_logic of Term.t * Term.t
+
+let rat_to_int_exn q =
+  assert (Bigint.equal (Rat.den q) Bigint.one);
+  match Bigint.to_int_opt (Rat.num q) with
+  | Some n -> n
+  | None -> failwith "Linexp: integer constant exceeds native int range"
+
+(* Floor of a rational. *)
+let rat_floor q =
+  let num = Rat.num q and den = Rat.den q in
+  let quot, rem = Bigint.divmod num den in
+  if Bigint.is_zero rem || Bigint.sign num >= 0 then quot else Bigint.sub quot Bigint.one
+
+let classify_leq ~strict a b =
+  let la = of_term a and lb = of_term b in
+  (* a <= b  <=>  (la - lb) <= 0 : sum coeffs + const <= 0 *)
+  let d = sub la lb in
+  let is_int = Sort.equal (Term.sort a) Sort.Int in
+  match d.coeffs with
+  | [] ->
+    let cmp = Rat.compare d.const Rat.zero in
+    Trivial (if strict then cmp < 0 else cmp <= 0)
+  | coeffs when is_int ->
+    (* Scale to integer coefficients, divide by their gcd, tighten. *)
+    let denom_lcm =
+      List.fold_left
+        (fun acc (_, q) ->
+          let den = Rat.den q in
+          let g = Bigint.gcd acc den in
+          let l, _ = Bigint.divmod (Bigint.mul acc den) g in
+          l)
+        (Rat.den d.const) coeffs
+    in
+    let scaled_coeffs =
+      List.map (fun (v, q) -> (v, Rat.mul q (Rat.of_bigint denom_lcm))) coeffs
+    in
+    let scaled_const = Rat.mul d.const (Rat.of_bigint denom_lcm) in
+    let g =
+      List.fold_left (fun acc (_, q) -> Bigint.gcd acc (Rat.num q)) Bigint.zero scaled_coeffs
+    in
+    let int_coeffs =
+      List.map (fun (v, q) -> (v, rat_to_int_exn (Rat.div q (Rat.of_bigint g)))) scaled_coeffs
+    in
+    (* The left-hand side is an integer, so:
+         sum <= b  tightens to  sum <= floor(b)
+         sum <  b  tightens to  sum <= ceil(b)-1, which is floor(b) for
+         fractional b and b-1 for integral b. *)
+    let bound_rat = Rat.div (Rat.neg scaled_const) (Rat.of_bigint g) in
+    let integral = Bigint.equal (Rat.den bound_rat) Bigint.one in
+    let floored = rat_floor bound_rat in
+    let tightened = if strict && integral then Bigint.sub floored Bigint.one else floored in
+    let k =
+      match Bigint.to_int_opt tightened with
+      | Some n -> n
+      | None -> failwith "Linexp: difference bound exceeds native int range"
+    in
+    (match int_coeffs with
+     | [ (x, 1) ] -> Idl { x = Some x; y = None; k }
+     | [ (y, -1) ] -> Idl { x = None; y = Some y; k }
+     | [ (x, 1); (y, -1) ] | [ (y, -1); (x, 1) ] -> Idl { x = Some x; y = Some y; k }
+     | _ -> raise (Not_difference_logic (a, b)))
+  | coeffs ->
+    (* Rational: canonicalize by dividing through by |c_1|. *)
+    let lead = match coeffs with (_, q) :: _ -> Rat.abs q | [] -> Rat.one in
+    let coeffs = List.map (fun (v, q) -> (v, Rat.div q lead)) coeffs in
+    let bound = Rat.div (Rat.neg d.const) lead in
+    Lra { coeffs; bound }

@@ -1,0 +1,35 @@
+(** Normalization of arithmetic terms into linear expressions
+    [sum_i c_i * x_i + constant] over term variables. *)
+
+type t = { coeffs : (Term.t * Exactnum.Rat.t) list; const : Exactnum.Rat.t }
+(** Coefficients are non-zero and sorted by term id; variables appear
+    at most once. *)
+
+exception Nonlinear of Term.t
+
+val of_term : Term.t -> t
+(** @raise Nonlinear if the term contains a non-arithmetic subterm. *)
+
+val sub : t -> t -> t
+
+type int_diff = { x : Term.t option; y : Term.t option; k : int }
+(** The constraint [x - y <= k] with either side possibly absent. *)
+
+type classified =
+  | Trivial of bool  (** the atom folds to a constant *)
+  | Idl of int_diff  (** integer difference constraint *)
+  | Lra of { coeffs : (Term.t * Exactnum.Rat.t) list; bound : Exactnum.Rat.t }
+      (** rational constraint [sum <= bound] (strictness tracked by caller) *)
+
+exception Not_difference_logic of Term.t * Term.t
+
+val classify_leq : strict:bool -> Term.t -> Term.t -> classified
+(** Normalize the atom [a <= b] (or [a < b] when [strict]).  Integer
+    atoms are scaled to integer coefficients, tightened ([a < b] becomes
+    [a <= b-1]) and must be difference-form.  Rational atoms are
+    returned in a canonical scaled form; strict rational atoms are the
+    caller's responsibility to track.
+
+    @raise Not_difference_logic for an integer atom outside the
+    difference fragment.
+    @raise Nonlinear for non-linear operands. *)

@@ -1,0 +1,99 @@
+module Rat = Exactnum.Rat
+
+type value = Bool of bool | Int of int | Rat of Rat.t | Bv of int
+type t = { table : (int, value) Hashtbl.t; mutable binds : (Term.t * value) list }
+
+let create ~bools ~ints ~rats ~bvs =
+  let table = Hashtbl.create 256 in
+  let binds = ref [] in
+  let add (term, v) =
+    Hashtbl.replace table (Term.id term) v;
+    binds := (term, v) :: !binds
+  in
+  List.iter (fun (t, b) -> add (t, Bool b)) bools;
+  List.iter (fun (t, n) -> add (t, Int n)) ints;
+  List.iter (fun (t, q) -> add (t, Rat q)) rats;
+  List.iter (fun (t, v) -> add (t, Bv v)) bvs;
+  { table; binds = !binds }
+
+let value_of m t = Hashtbl.find_opt m.table (Term.id t)
+
+let bool_value m t = match value_of m t with Some (Bool b) -> b | _ -> false
+let int_value m t = match value_of m t with Some (Int n) -> n | _ -> 0
+let rat_value m t = match value_of m t with Some (Rat q) -> q | _ -> Rat.zero
+let bv_value m t = match value_of m t with Some (Bv v) -> v | _ -> 0
+
+let default_for = function
+  | Sort.Bool -> Bool false
+  | Sort.Int -> Int 0
+  | Sort.Real -> Rat Rat.zero
+  | Sort.Bitvec _ -> Bv 0
+
+let as_bool = function Bool b -> b | _ -> invalid_arg "Model.eval: expected Bool"
+
+let as_rat = function
+  | Int n -> Rat.of_int n
+  | Rat q -> q
+  | _ -> invalid_arg "Model.eval: expected arithmetic value"
+
+let as_bv = function Bv v -> v | _ -> invalid_arg "Model.eval: expected BitVec"
+
+let rec eval m (t : Term.t) =
+  match t.node with
+  | Term.True -> Bool true
+  | Term.False -> Bool false
+  | Term.Var _ -> (match value_of m t with Some v -> v | None -> default_for (Term.sort t))
+  | Term.Not a -> Bool (not (eval_bool m a))
+  | Term.And l -> Bool (List.for_all (eval_bool m) l)
+  | Term.Or l -> Bool (List.exists (eval_bool m) l)
+  | Term.Implies (a, b) -> Bool ((not (eval_bool m a)) || eval_bool m b)
+  | Term.Iff (a, b) -> Bool (eval_bool m a = eval_bool m b)
+  | Term.Ite (c, a, b) -> if eval_bool m c then eval m a else eval m b
+  | Term.At_most (k, l) ->
+    Bool (List.length (List.filter (eval_bool m) l) <= k)
+  | Term.Int_const n -> Int n
+  | Term.Rat_const q -> Rat q
+  | Term.Add (a, b) -> arith m t a b Rat.add
+  | Term.Sub (a, b) -> arith m t a b Rat.sub
+  | Term.Scale (q, a) ->
+    let v = Rat.mul q (as_rat (eval m a)) in
+    wrap_arith (Term.sort t) v
+  | Term.Leq (a, b) -> Bool (Rat.leq (as_rat (eval m a)) (as_rat (eval m b)))
+  | Term.Lt (a, b) -> Bool (Rat.lt (as_rat (eval m a)) (as_rat (eval m b)))
+  | Term.Eq (a, b) ->
+    (match Term.sort a with
+     | Sort.Bitvec _ -> Bool (as_bv (eval m a) = as_bv (eval m b))
+     | _ -> Bool (Rat.equal (as_rat (eval m a)) (as_rat (eval m b))))
+  | Term.Bv_const v -> Bv v
+  | Term.Bv_and (a, b) -> Bv (as_bv (eval m a) land as_bv (eval m b))
+  | Term.Bv_ule (a, b) -> Bool (as_bv (eval m a) <= as_bv (eval m b))
+
+and wrap_arith sort v =
+  match sort with
+  | Sort.Int ->
+    (match Exactnum.Bigint.to_int_opt (Rat.num v) with
+     | Some n when Exactnum.Bigint.equal (Rat.den v) Exactnum.Bigint.one -> Int n
+     | _ -> Rat v)
+  | _ -> Rat v
+
+and arith m t a b op =
+  let v = op (as_rat (eval m a)) (as_rat (eval m b)) in
+  wrap_arith (Term.sort t) v
+
+and eval_bool m t = as_bool (eval m t)
+
+let bindings m = m.binds
+
+let pp_value fmt = function
+  | Bool b -> Format.pp_print_bool fmt b
+  | Int n -> Format.pp_print_int fmt n
+  | Rat q -> Rat.pp fmt q
+  | Bv v -> Format.fprintf fmt "#x%x" v
+
+let pp fmt m =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> Term.compare a b) m.binds
+  in
+  List.iter
+    (fun (t, v) -> Format.fprintf fmt "%a = %a@." Term.pp t pp_value v)
+    sorted

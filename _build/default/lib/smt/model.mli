@@ -1,0 +1,35 @@
+(** Models produced by the solver, mapping term variables to values,
+    plus a reference evaluator for arbitrary terms. *)
+
+type value = Bool of bool | Int of int | Rat of Exactnum.Rat.t | Bv of int
+
+type t
+
+val create :
+  bools:(Term.t * bool) list ->
+  ints:(Term.t * int) list ->
+  rats:(Term.t * Exactnum.Rat.t) list ->
+  bvs:(Term.t * int) list ->
+  t
+
+val value_of : t -> Term.t -> value option
+(** Value of a variable term; [None] if the variable is unknown to the
+    model (it was irrelevant — any value satisfies). *)
+
+val bool_value : t -> Term.t -> bool
+(** Boolean variable's value, defaulting to [false] when irrelevant. *)
+
+val int_value : t -> Term.t -> int
+val rat_value : t -> Term.t -> Exactnum.Rat.t
+val bv_value : t -> Term.t -> int
+
+val eval : t -> Term.t -> value
+(** Evaluate an arbitrary term under the model (unknown variables take
+    default values: [false], [0]).  Useful for checking that a model
+    satisfies an assertion, and for decoding counterexamples. *)
+
+val eval_bool : t -> Term.t -> bool
+(** [eval] specialized to Boolean terms. *)
+
+val bindings : t -> (Term.t * value) list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,568 @@
+(* CDCL with two-watched literals (MiniSat lineage).  Conventions:
+   - literal [2*v] is the positive literal of variable [v], [2*v+1] the
+     negative one;
+   - [assign.(v)] is [0] when unassigned, [1] when true, [-1] when false;
+   - a clause's two watched literals sit at positions 0 and 1 of [lits];
+   - [watches.(l)] holds the clauses currently watching literal [l];
+   - the implied literal of a reason clause sits at position 0. *)
+
+type clause = {
+  mutable lits : int array;
+  mutable activity : float;
+  learnt : bool;
+  mutable deleted : bool;
+}
+
+let dummy_clause = { lits = [||]; activity = 0.0; learnt = false; deleted = true }
+
+type t = {
+  mutable nvars : int;
+  mutable assign : int array;
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable phase : bool array;
+  mutable seen : bool array;
+  mutable activity : float array;
+  mutable heap_pos : int array;
+  heap : int Vec.t;
+  mutable watches : clause Vec.t array;
+  trail : int Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  mutable ok : bool;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable max_learnts : float;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable on_backtrack : int -> unit;
+      (* invoked from cancel_until with the new trail size, so theory
+         solvers can pop their assertion stacks in lock step *)
+}
+
+type result = Sat | Unsat
+
+let pos_lit v = 2 * v
+let neg_lit v = (2 * v) + 1
+let lit_var l = l lsr 1
+let lit_sign l = l land 1 = 0
+let lit_neg l = l lxor 1
+
+let create () =
+  {
+    nvars = 0;
+    assign = Array.make 16 0;
+    level = Array.make 16 0;
+    reason = Array.make 16 None;
+    phase = Array.make 16 false;
+    seen = Array.make 16 false;
+    activity = Array.make 16 0.0;
+    heap_pos = Array.make 16 (-1);
+    heap = Vec.create ~dummy:(-1) ();
+    watches = Array.init 32 (fun _ -> Vec.create ~dummy:dummy_clause ());
+    trail = Vec.create ~dummy:(-1) ();
+    trail_lim = Vec.create ~dummy:(-1) ();
+    qhead = 0;
+    clauses = Vec.create ~dummy:dummy_clause ();
+    learnts = Vec.create ~dummy:dummy_clause ();
+    ok = true;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    max_learnts = 4000.0;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    on_backtrack = (fun (_ : int) -> ());
+  }
+
+let nvars s = s.nvars
+let num_conflicts s = s.conflicts
+let num_decisions s = s.decisions
+let num_propagations s = s.propagations
+let num_clauses s = Vec.size s.clauses
+
+(* -- variable order (binary max-heap on activity) ------------------------ *)
+
+let heap_less s a b = s.activity.(a) > s.activity.(b)
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    let vi = Vec.get s.heap i and vp = Vec.get s.heap parent in
+    if heap_less s vi vp then begin
+      Vec.set s.heap i vp;
+      Vec.set s.heap parent vi;
+      s.heap_pos.(vp) <- i;
+      s.heap_pos.(vi) <- parent;
+      heap_up s parent
+    end
+  end
+
+let rec heap_down s i =
+  let n = Vec.size s.heap in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < n && heap_less s (Vec.get s.heap l) (Vec.get s.heap !best) then best := l;
+  if r < n && heap_less s (Vec.get s.heap r) (Vec.get s.heap !best) then best := r;
+  if !best <> i then begin
+    let vi = Vec.get s.heap i and vb = Vec.get s.heap !best in
+    Vec.set s.heap i vb;
+    Vec.set s.heap !best vi;
+    s.heap_pos.(vb) <- i;
+    s.heap_pos.(vi) <- !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    Vec.push s.heap v;
+    s.heap_pos.(v) <- Vec.size s.heap - 1;
+    heap_up s (Vec.size s.heap - 1)
+  end
+
+let heap_pop s =
+  let top = Vec.get s.heap 0 in
+  let last = Vec.pop s.heap in
+  s.heap_pos.(top) <- -1;
+  if Vec.size s.heap > 0 then begin
+    Vec.set s.heap 0 last;
+    s.heap_pos.(last) <- 0;
+    heap_down s 0
+  end;
+  top
+
+(* -- variable allocation -------------------------------------------------- *)
+
+let grow_array arr n dummy =
+  let old = Array.length arr in
+  if n <= old then arr
+  else begin
+    let fresh = Array.make (max n (2 * old)) dummy in
+    Array.blit arr 0 fresh 0 old;
+    fresh
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.assign <- grow_array s.assign s.nvars 0;
+  s.level <- grow_array s.level s.nvars 0;
+  s.reason <- grow_array s.reason s.nvars None;
+  s.phase <- grow_array s.phase s.nvars false;
+  s.seen <- grow_array s.seen s.nvars false;
+  s.activity <- grow_array s.activity s.nvars 0.0;
+  s.heap_pos <- grow_array s.heap_pos s.nvars (-1);
+  let nlits = 2 * s.nvars in
+  if Array.length s.watches < nlits then begin
+    let old = Array.length s.watches in
+    let fresh = Array.make (max nlits (2 * old)) (Vec.create ~dummy:dummy_clause ()) in
+    Array.blit s.watches 0 fresh 0 old;
+    for i = old to Array.length fresh - 1 do
+      fresh.(i) <- Vec.create ~dummy:dummy_clause ()
+    done;
+    s.watches <- fresh
+  end;
+  heap_insert s v;
+  v
+
+(* -- assignment ----------------------------------------------------------- *)
+
+let lit_value s l =
+  let v = s.assign.(lit_var l) in
+  if lit_sign l then v else -v
+
+let decision_level s = Vec.size s.trail_lim
+
+let enqueue s l reason =
+  let v = lit_var l in
+  s.assign.(v) <- (if lit_sign l then 1 else -1);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Vec.push s.trail l
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.size s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = lit_var l in
+      s.phase.(v) <- lit_sign l;
+      s.assign.(v) <- 0;
+      s.reason.(v) <- None;
+      heap_insert s v
+    done;
+    s.qhead <- bound;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.on_backtrack bound
+  end
+
+(* -- activity ------------------------------------------------------------- *)
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+let var_decay s = s.var_inc <- s.var_inc /. 0.95
+
+let cla_bump s (c : clause) =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let cla_decay s = s.cla_inc <- s.cla_inc /. 0.999
+
+(* -- clauses -------------------------------------------------------------- *)
+
+let attach s c =
+  Vec.push s.watches.(c.lits.(0)) c;
+  Vec.push s.watches.(c.lits.(1)) c
+
+let add_clause s lits =
+  assert (decision_level s = 0);
+  if s.ok then begin
+    (* Simplify: drop duplicate and false literals, detect tautologies and
+       satisfied clauses.  All current assignments are at level 0. *)
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      List.exists (fun l -> lit_sign l && List.mem (lit_neg l) lits) lits
+    in
+    let satisfied = List.exists (fun l -> lit_value s l = 1) lits in
+    if not (tautology || satisfied) then begin
+      let lits = List.filter (fun l -> lit_value s l <> -1) lits in
+      match lits with
+      | [] -> s.ok <- false
+      | [ l ] -> enqueue s l None
+      | _ :: _ :: _ ->
+        let c = { lits = Array.of_list lits; activity = 0.0; learnt = false; deleted = false } in
+        Vec.push s.clauses c;
+        attach s c
+    end
+  end
+
+(* -- propagation ---------------------------------------------------------- *)
+
+let propagate s =
+  let confl = ref None in
+  while !confl = None && s.qhead < Vec.size s.trail do
+    let p = Vec.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    let fl = lit_neg p in
+    let ws = s.watches.(fl) in
+    let n = Vec.size ws in
+    let i = ref 0 and j = ref 0 in
+    while !i < n do
+      let c = Vec.get ws !i in
+      incr i;
+      if not c.deleted then begin
+        let lits = c.lits in
+        if lits.(0) = fl then begin
+          lits.(0) <- lits.(1);
+          lits.(1) <- fl
+        end;
+        if lit_value s lits.(0) = 1 then begin
+          (* Clause satisfied by the other watch; keep it here. *)
+          Vec.set ws !j c;
+          incr j
+        end
+        else begin
+          let len = Array.length lits in
+          let k = ref 2 in
+          while !k < len && lit_value s lits.(!k) = -1 do
+            incr k
+          done;
+          if !k < len then begin
+            (* Move the watch to lits.(!k). *)
+            lits.(1) <- lits.(!k);
+            lits.(!k) <- fl;
+            Vec.push s.watches.(lits.(1)) c
+          end
+          else begin
+            Vec.set ws !j c;
+            incr j;
+            if lit_value s lits.(0) = -1 then begin
+              confl := Some c;
+              s.qhead <- Vec.size s.trail;
+              while !i < n do
+                Vec.set ws !j (Vec.get ws !i);
+                incr j;
+                incr i
+              done
+            end
+            else enqueue s lits.(0) (Some c)
+          end
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  !confl
+
+(* -- conflict analysis (first UIP) ----------------------------------------- *)
+
+let reason_exn s v =
+  match s.reason.(v) with
+  | Some c -> c
+  | None -> assert false
+
+(* [q] is redundant in the learnt clause if its reason's antecedents are all
+   already in the clause (seen) or fixed at level 0: local minimization. *)
+let lit_redundant s q =
+  match s.reason.(lit_var q) with
+  | None -> false
+  | Some r ->
+    let ok = ref true in
+    for k = 1 to Array.length r.lits - 1 do
+      let v = lit_var r.lits.(k) in
+      if not s.seen.(v) && s.level.(v) > 0 then ok := false
+    done;
+    !ok
+
+let analyze s confl =
+  let learnt = ref [] in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let idx = ref (Vec.size s.trail - 1) in
+  let c = ref confl in
+  let dl = decision_level s in
+  let expanding = ref true in
+  while !expanding do
+    if !c.learnt then cla_bump s !c;
+    let lits = !c.lits in
+    let start = if !p = -1 then 0 else 1 in
+    for k = start to Array.length lits - 1 do
+      let q = lits.(k) in
+      let v = lit_var q in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        var_bump s v;
+        if s.level.(v) >= dl then incr path else learnt := q :: !learnt
+      end
+    done;
+    while not s.seen.(lit_var (Vec.get s.trail !idx)) do
+      decr idx
+    done;
+    p := Vec.get s.trail !idx;
+    decr idx;
+    s.seen.(lit_var !p) <- false;
+    decr path;
+    if !path > 0 then c := reason_exn s (lit_var !p) else expanding := false
+  done;
+  let tail = List.filter (fun q -> not (lit_redundant s q)) !learnt in
+  List.iter (fun q -> s.seen.(lit_var q) <- false) !learnt;
+  let asserting = lit_neg !p in
+  (* Backjump level: highest level among the tail. *)
+  let blevel = List.fold_left (fun acc q -> max acc s.level.(lit_var q)) 0 tail in
+  (* Put a literal of the backjump level in watch position 1. *)
+  let tail =
+    match List.partition (fun q -> s.level.(lit_var q) = blevel) tail with
+    | q :: rest_max, rest -> q :: (rest_max @ rest)
+    | [], rest -> rest
+  in
+  (asserting :: tail, blevel)
+
+(* -- learnt clause database reduction -------------------------------------- *)
+
+let locked s (c : clause) = Array.length c.lits > 0 && s.reason.(lit_var c.lits.(0)) == Some c
+
+let reduce_db s =
+  Vec.sort_in_place (fun (a : clause) (b : clause) -> compare a.activity b.activity) s.learnts;
+  let n = Vec.size s.learnts in
+  let kept = Vec.create ~dummy:dummy_clause () in
+  for i = 0 to n - 1 do
+    let c = Vec.get s.learnts i in
+    if (i < n / 2) && (not (locked s c)) && Array.length c.lits > 2 then c.deleted <- true
+    else Vec.push kept c
+  done;
+  Vec.clear s.learnts;
+  Vec.iter (fun c -> Vec.push s.learnts c) kept
+
+
+(* Integrate a theory-learned clause at the current state without
+   restarting from scratch: attach it with valid watches and backjump
+   just far enough that it is no longer conflicting (then it propagates
+   like any learnt clause). *)
+let integrate_clause s lits =
+  let lits = List.sort_uniq compare lits in
+  (* literals false at level 0 can never help *)
+  let lits =
+    List.filter (fun l -> not (lit_value s l = -1 && s.level.(lit_var l) = 0)) lits
+  in
+  match lits with
+  | [] -> s.ok <- false
+  | [ l ] ->
+    cancel_until s 0;
+    (match lit_value s l with
+     | 1 -> ()
+     | -1 -> s.ok <- false
+     | _ -> enqueue s l None)
+  | _ :: _ :: _ ->
+    let arr = Array.of_list lits in
+    let c = { lits = arr; activity = 0.0; learnt = true; deleted = false } in
+    (* watch preference: true > unassigned > false by decreasing level *)
+    let rank l =
+      match lit_value s l with
+      | 1 -> max_int
+      | 0 -> max_int - 1
+      | _ -> s.level.(lit_var l)
+    in
+    let finished = ref false in
+    while not !finished do
+      Array.sort (fun a b -> compare (rank b) (rank a)) arr;
+      match (lit_value s arr.(0), lit_value s arr.(1)) with
+      | 1, _ | 0, (1 | 0) ->
+        (* satisfied, or two non-false watches: just attach *)
+        Vec.push s.learnts c;
+        attach s c;
+        finished := true
+      | 0, -1 ->
+        (* asserting: propagate the single non-false literal *)
+        Vec.push s.learnts c;
+        attach s c;
+        enqueue s arr.(0) (Some c);
+        finished := true
+      | -1, _ ->
+        (* conflicting (all false): backjump below the highest level *)
+        let l0 = s.level.(lit_var arr.(0)) in
+        if l0 = 0 then begin
+          s.ok <- false;
+          finished := true
+        end
+        else begin
+          let l1 = s.level.(lit_var arr.(1)) in
+          cancel_until s (if l1 < l0 then l1 else l0 - 1)
+        end
+      | _ -> assert false
+    done
+
+(* -- restarts -------------------------------------------------------------- *)
+
+let luby i =
+  (* Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... (MiniSat's algorithm) *)
+  let size = ref 1 and seq = ref 0 in
+  while !size < i + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref i in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
+
+(* -- main solve loop -------------------------------------------------------- *)
+
+let decide s =
+  let rec next () =
+    if Vec.is_empty s.heap then -1
+    else begin
+      let v = heap_pop s in
+      if s.assign.(v) = 0 then v else next ()
+    end
+  in
+  let v = next () in
+  if v < 0 then false
+  else begin
+    s.decisions <- s.decisions + 1;
+    Vec.push s.trail_lim (Vec.size s.trail);
+    enqueue s (if s.phase.(v) then pos_lit v else neg_lit v) None;
+    true
+  end
+
+let solve ?(final_check = fun (_ : t) -> []) ?(partial_check = fun (_ : t) -> [])
+    ?(partial_interval = 64) ?(on_backtrack = fun (_ : int) -> ()) s =
+  s.on_backtrack <- on_backtrack;
+  let restart_num = ref 0 in
+  let conflicts_since_restart = ref 0 in
+  let restart_limit = ref (100 * luby 0) in
+  let answer = ref None in
+  let since_partial = ref 0 in
+  if not s.ok then answer := Some Unsat;
+  while !answer = None do
+    match propagate s with
+    | Some confl ->
+      s.conflicts <- s.conflicts + 1;
+      incr conflicts_since_restart;
+      if decision_level s = 0 then begin
+        s.ok <- false;
+        answer := Some Unsat
+      end
+      else begin
+        let learnt, blevel = analyze s confl in
+        cancel_until s blevel;
+        (match learnt with
+         | [] -> assert false
+         | [ l ] -> enqueue s l None
+         | l :: _ ->
+           let c =
+             { lits = Array.of_list learnt; activity = 0.0; learnt = true; deleted = false }
+           in
+           cla_bump s c;
+           Vec.push s.learnts c;
+           attach s c;
+           enqueue s l (Some c));
+        var_decay s;
+        cla_decay s
+      end
+    | None when !since_partial >= partial_interval ->
+      (* Periodic partial theory check on the propagation-complete
+         prefix: catches theory-inconsistent assignments long before
+         they are total. *)
+      since_partial := 0;
+      (match partial_check s with
+       | [] -> ()
+       | conflict_clauses ->
+         List.iter (fun c -> integrate_clause s c) conflict_clauses;
+         if not s.ok then answer := Some Unsat)
+    | None ->
+      if !conflicts_since_restart >= !restart_limit then begin
+        incr restart_num;
+        conflicts_since_restart := 0;
+        restart_limit := 100 * luby !restart_num;
+        cancel_until s 0
+      end
+      else if Vec.size s.trail = s.nvars then begin
+        match final_check s with
+        | [] -> answer := Some Sat
+        | conflict_clauses ->
+          List.iter (fun c -> integrate_clause s c) conflict_clauses;
+          if not s.ok then answer := Some Unsat
+      end
+      else begin
+        if float_of_int (Vec.size s.learnts) > s.max_learnts then begin
+          reduce_db s;
+          s.max_learnts <- s.max_learnts *. 1.3
+        end;
+        let made = decide s in
+        assert made;
+        incr since_partial
+      end
+  done;
+  (match !answer with
+   | Some Sat -> ()
+   | _ -> cancel_until s 0);
+  match !answer with
+  | Some r -> r
+  | None -> assert false
+
+let value_var s v = s.assign.(v) = 1
+let value_lit s l = lit_value s l = 1
+
+let var_assigned s v = s.assign.(v) <> 0
+
+let trail_size s = Vec.size s.trail
+let trail_lit s i = Vec.get s.trail i

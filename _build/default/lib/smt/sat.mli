@@ -1,0 +1,74 @@
+(** A CDCL SAT solver (two-watched literals, VSIDS, 1UIP learning,
+    Luby restarts, activity-based learnt-clause deletion).
+
+    Literals are integers: variable [v]'s positive literal is [2*v] and
+    its negative literal is [2*v+1].  Variables are allocated with
+    {!new_var} and clauses added with {!add_clause}; {!solve} then decides
+    satisfiability.  A [final_check] callback supports lazy SMT: it runs
+    whenever the solver reaches a full assignment and may veto it by
+    returning conflict clauses to learn. *)
+
+type t
+
+type result = Sat | Unsat
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable and return its index. *)
+
+val nvars : t -> int
+
+val pos_lit : int -> int
+val neg_lit : int -> int
+val lit_var : int -> int
+val lit_sign : int -> bool
+(** [lit_sign l] is [true] for a positive literal. *)
+
+val lit_neg : int -> int
+
+val add_clause : t -> int list -> unit
+(** Add a clause (a disjunction of literals).  Must be called at decision
+    level 0, i.e. before {!solve} or from inside a [final_check]
+    callback return (the solver restarts itself in that case). *)
+
+val solve :
+  ?final_check:(t -> int list list) ->
+  ?partial_check:(t -> int list list) ->
+  ?partial_interval:int ->
+  ?on_backtrack:(int -> unit) ->
+  t ->
+  result
+(** [final_check s] is invoked on every full propositional assignment.
+    Returning [[]] accepts the assignment ({!solve} answers [Sat]);
+    returning conflict clauses (each must be false under the current
+    assignment) forces the search to continue.
+
+    [partial_check s] is invoked every [partial_interval] decisions on
+    the current {e partial} assignment (after propagation); any conflict
+    clause over currently-assigned literals prunes the search early.
+
+    [on_backtrack n] fires whenever the trail is truncated to length
+    [n] (backjumps and restarts), letting theory solvers pop their
+    assertion stacks in lock step with the trail. *)
+
+val value_var : t -> int -> bool
+(** Value of a variable in the current (full) assignment.  Meaningful
+    after [Sat], or inside a [final_check] callback. *)
+
+val value_lit : t -> int -> bool
+
+val var_assigned : t -> int -> bool
+(** Whether the variable is assigned in the current partial assignment
+    (for use inside [partial_check]). *)
+
+val num_conflicts : t -> int
+val num_decisions : t -> int
+val num_propagations : t -> int
+val num_clauses : t -> int
+
+val trail_size : t -> int
+(** Current length of the assignment trail (theory-integration use). *)
+
+val trail_lit : t -> int -> int
+(** The [i]-th literal on the trail, in assignment order. *)

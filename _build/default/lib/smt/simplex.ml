@@ -1,0 +1,223 @@
+module Rat = Exactnum.Rat
+
+type atom = { coeffs : (int * Rat.t) list; bound : Rat.t }
+type t = { nvars : int; atoms : atom array }
+
+let create ~nvars atoms = { nvars; atoms }
+
+(* Delta-rationals: (q, d) stands for q + d * epsilon. *)
+type dr = { q : Rat.t; d : Rat.t }
+
+let dr_zero = { q = Rat.zero; d = Rat.zero }
+let dr_add a b = { q = Rat.add a.q b.q; d = Rat.add a.d b.d }
+let dr_sub a b = { q = Rat.sub a.q b.q; d = Rat.sub a.d b.d }
+let dr_scale c a = { q = Rat.mul c a.q; d = Rat.mul c a.d }
+
+let dr_compare a b =
+  let c = Rat.compare a.q b.q in
+  if c <> 0 then c else Rat.compare a.d b.d
+
+type bound = { value : dr; tag : int }
+
+exception Conflict of int list
+
+let check t ~assertions =
+  let n = t.nvars in
+  let m = Array.length t.atoms in
+  let total = n + m in
+  (* Tableau: one row per currently-basic variable.  Initially the slack
+     variables (n .. n+m-1) are basic, with rows copying atom coefficients. *)
+  let tableau = Array.make_matrix m total Rat.zero in
+  let owner = Array.init m (fun r -> n + r) in
+  let row_of = Array.make total (-1) in
+  Array.iteri
+    (fun r atom ->
+      row_of.(n + r) <- r;
+      List.iter
+        (fun (v, c) ->
+          if v < 0 || v >= n then invalid_arg "Simplex: variable out of range";
+          tableau.(r).(v) <- Rat.add tableau.(r).(v) c)
+        atom.coeffs)
+    t.atoms;
+  let beta = Array.make total dr_zero in
+  let lower : bound option array = Array.make total None in
+  let upper : bound option array = Array.make total None in
+  let is_basic v = row_of.(v) >= 0 in
+  (* Changing a nonbasic variable's value propagates through the rows. *)
+  let update_nonbasic x v =
+    let delta = dr_sub v beta.(x) in
+    for r = 0 to m - 1 do
+      let c = tableau.(r).(x) in
+      if not (Rat.is_zero c) then beta.(owner.(r)) <- dr_add beta.(owner.(r)) (dr_scale c delta)
+    done;
+    beta.(x) <- v
+  in
+  let assert_upper x value tag =
+    match upper.(x) with
+    | Some b when dr_compare b.value value <= 0 -> ()
+    | Some _ | None ->
+      (match lower.(x) with
+       | Some lb when dr_compare value lb.value < 0 -> raise (Conflict [ tag; lb.tag ])
+       | Some _ | None ->
+         upper.(x) <- Some { value; tag };
+         if (not (is_basic x)) && dr_compare beta.(x) value > 0 then update_nonbasic x value)
+  in
+  let assert_lower x value tag =
+    match lower.(x) with
+    | Some b when dr_compare b.value value >= 0 -> ()
+    | Some _ | None ->
+      (match upper.(x) with
+       | Some ub when dr_compare value ub.value > 0 -> raise (Conflict [ tag; ub.tag ])
+       | Some _ | None ->
+         lower.(x) <- Some { value; tag };
+         if (not (is_basic x)) && dr_compare beta.(x) value < 0 then update_nonbasic x value)
+  in
+  (* Pivot basic variable b (in row r) with nonbasic variable j. *)
+  let pivot b j =
+    let r = row_of.(b) in
+    let a_j = tableau.(r).(j) in
+    assert (not (Rat.is_zero a_j));
+    let inv = Rat.inv a_j in
+    (* New row expresses j over the other variables (and b). *)
+    let fresh = Array.make total Rat.zero in
+    for k = 0 to total - 1 do
+      if k <> j then fresh.(k) <- Rat.neg (Rat.mul inv tableau.(r).(k))
+    done;
+    fresh.(b) <- inv;
+    tableau.(r) <- fresh;
+    owner.(r) <- j;
+    row_of.(j) <- r;
+    row_of.(b) <- -1;
+    (* Substitute j in all other rows. *)
+    for r' = 0 to m - 1 do
+      if r' <> r then begin
+        let c = tableau.(r').(j) in
+        if not (Rat.is_zero c) then begin
+          tableau.(r').(j) <- Rat.zero;
+          for k = 0 to total - 1 do
+            if not (Rat.is_zero fresh.(k)) then
+              tableau.(r').(k) <- Rat.add tableau.(r').(k) (Rat.mul c fresh.(k))
+          done
+        end
+      end
+    done
+  in
+  let pivot_and_update b j v =
+    let r = row_of.(b) in
+    let a_j = tableau.(r).(j) in
+    let theta = dr_scale (Rat.inv a_j) (dr_sub v beta.(b)) in
+    beta.(b) <- v;
+    beta.(j) <- dr_add beta.(j) theta;
+    for r' = 0 to m - 1 do
+      if r' <> r then begin
+        let c = tableau.(r').(j) in
+        if not (Rat.is_zero c) then beta.(owner.(r')) <- dr_add beta.(owner.(r')) (dr_scale c theta)
+      end
+    done;
+    pivot b j
+  in
+  (* Conflict explanation for an unbounded violated row. *)
+  let explain_row r blame_tag ~increase =
+    let tags = ref [ blame_tag ] in
+    for k = 0 to total - 1 do
+      let c = tableau.(r).(k) in
+      if not (Rat.is_zero c) then begin
+        let limiting =
+          if (Rat.sign c > 0) = increase then upper.(k) else lower.(k)
+        in
+        match limiting with
+        | Some b -> tags := b.tag :: !tags
+        | None -> assert false
+      end
+    done;
+    raise (Conflict !tags)
+  in
+  let rec main_loop fuel =
+    if fuel = 0 then failwith "Simplex.check: fuel exhausted (non-termination bug)";
+    (* Bland's rule: smallest violated basic variable. *)
+    let violated = ref (-1) in
+    let need_increase = ref false in
+    for v = total - 1 downto 0 do
+      if is_basic v then begin
+        (match lower.(v) with
+         | Some lb when dr_compare beta.(v) lb.value < 0 ->
+           violated := v;
+           need_increase := true
+         | Some _ | None -> ());
+        match upper.(v) with
+        | Some ub when dr_compare beta.(v) ub.value > 0 ->
+          violated := v;
+          need_increase := false
+        | Some _ | None -> ()
+      end
+    done;
+    if !violated < 0 then ()
+    else begin
+      let b = !violated in
+      let r = row_of.(b) in
+      let target =
+        if !need_increase then (Option.get lower.(b)).value else (Option.get upper.(b)).value
+      in
+      let blame = if !need_increase then (Option.get lower.(b)).tag else (Option.get upper.(b)).tag in
+      (* Find entering variable (smallest index, Bland). *)
+      let entering = ref (-1) in
+      for k = total - 1 downto 0 do
+        if not (is_basic k) then begin
+          let c = tableau.(r).(k) in
+          if not (Rat.is_zero c) then begin
+            let can_move =
+              if (Rat.sign c > 0) = !need_increase then
+                (* increasing k raises beta(b) toward target *)
+                match upper.(k) with
+                | None -> true
+                | Some ub -> dr_compare beta.(k) ub.value < 0
+              else begin
+                match lower.(k) with
+                | None -> true
+                | Some lb -> dr_compare beta.(k) lb.value > 0
+              end
+            in
+            if can_move then entering := k
+          end
+        end
+      done;
+      if !entering < 0 then explain_row r blame ~increase:!need_increase
+      else begin
+        pivot_and_update b !entering target;
+        main_loop (fuel - 1)
+      end
+    end
+  in
+  match
+    List.iter
+      (fun (i, positive, strict) ->
+        if i < 0 || i >= m then invalid_arg "Simplex.check: atom index out of range";
+        let slack = n + i in
+        let k = t.atoms.(i).bound in
+        if positive then
+          (* e <= k, or e < k when strict *)
+          assert_upper slack { q = k; d = (if strict then Rat.minus_one else Rat.zero) } i
+        else
+          (* negation: e >= k (of strict) or e > k (of non-strict) *)
+          assert_lower slack { q = k; d = (if strict then Rat.zero else Rat.one) } i)
+      assertions;
+    main_loop 100_000
+  with
+  | () ->
+    (* Pick a concrete epsilon small enough for all strict separations. *)
+    let eps = ref Rat.one in
+    let consider (value : dr) (bound : dr) ~is_upper =
+      let value, bound = if is_upper then (value, bound) else (bound, value) in
+      (* need value.q + value.d * eps <= bound.q + bound.d * eps *)
+      let dq = Rat.sub bound.q value.q and dd = Rat.sub value.d bound.d in
+      if Rat.sign dd > 0 && Rat.sign dq > 0 then eps := Rat.min !eps (Rat.div dq dd)
+    in
+    for v = 0 to total - 1 do
+      (match upper.(v) with Some ub -> consider beta.(v) ub.value ~is_upper:true | None -> ());
+      match lower.(v) with Some lb -> consider beta.(v) lb.value ~is_upper:false | None -> ()
+    done;
+    let model =
+      Array.init n (fun v -> Rat.add beta.(v).q (Rat.mul beta.(v).d !eps))
+    in
+    Ok model
+  | exception Conflict tags -> Error (List.sort_uniq compare tags)

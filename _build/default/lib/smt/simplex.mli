@@ -1,0 +1,36 @@
+(** Linear rational arithmetic via the dual simplex procedure of
+    Dutertre and de Moura (the "general simplex" used in SMT solvers).
+
+    The client declares [n] structural variables and a set of linear
+    atoms [sum_i c_i * x_i <= k] (or strict [<]).  Each atom is given a
+    slack variable internally.  {!check} decides a conjunction of atom
+    assertions (an atom may be asserted positively or negatively —
+    negation of [e <= k] is [e > k]) and either returns a rational
+    model or a minimal-ish conflict: the tags of the asserted atoms
+    involved in the infeasibility.
+
+    Strict inequalities are handled with delta-rationals [(q, d)]
+    standing for [q + d*epsilon] for an infinitesimal epsilon; the model
+    extraction picks a concrete positive epsilon. *)
+
+type t
+
+type atom = { coeffs : (int * Exactnum.Rat.t) list; bound : Exactnum.Rat.t }
+(** The linear expression [sum coeffs] compared to [bound].  Variable
+    indices must lie in [0, nvars). *)
+
+val create : nvars:int -> atom array -> t
+(** [create ~nvars atoms] prepares a tableau.  Atom [i] is referred to
+    by its index in subsequent calls. *)
+
+val check :
+  t -> assertions:(int * bool * bool) list -> (Exactnum.Rat.t array, int list) result
+(** [check t ~assertions] decides the conjunction of the given atom
+    assertions.  Each assertion is [(atom_index, positive, strict)]:
+    - [(i, true, false)] asserts [e_i <= k_i];
+    - [(i, true, true)] asserts [e_i < k_i];
+    - [(i, false, false)] asserts [e_i >= k_i] (negation of strict);
+    - [(i, false, true)] asserts [e_i > k_i] (negation of non-strict).
+
+    [Ok model] gives a value for each structural variable.  [Error l]
+    gives the atom indices of an inconsistent subset. *)

@@ -1,0 +1,99 @@
+module Rat = Exactnum.Rat
+
+let sort_str = function
+  | Sort.Bool -> "Bool"
+  | Sort.Int -> "Int"
+  | Sort.Real -> "Real"
+  | Sort.Bitvec w -> Printf.sprintf "(_ BitVec %d)" w
+
+(* SMT-LIB identifiers: wrap anything with unusual characters in | |. *)
+let ident s =
+  let plain =
+    String.for_all
+      (fun c ->
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+        || c = '-' || c = '.')
+      s
+  in
+  if plain && s <> "" then s else "|" ^ s ^ "|"
+
+let rec collect_vars seen acc (t : Term.t) =
+  if Hashtbl.mem seen (Term.id t) then acc
+  else begin
+    Hashtbl.add seen (Term.id t) ();
+    match t.Term.node with
+    | Term.Var name -> (name, Term.sort t) :: acc
+    | Term.True | Term.False | Term.Int_const _ | Term.Rat_const _ | Term.Bv_const _ -> acc
+    | Term.Not a | Term.Scale (_, a) -> collect_vars seen acc a
+    | Term.And l | Term.Or l | Term.At_most (_, l) -> List.fold_left (collect_vars seen) acc l
+    | Term.Implies (a, b)
+    | Term.Iff (a, b)
+    | Term.Add (a, b)
+    | Term.Sub (a, b)
+    | Term.Leq (a, b)
+    | Term.Lt (a, b)
+    | Term.Eq (a, b)
+    | Term.Bv_and (a, b)
+    | Term.Bv_ule (a, b) -> collect_vars seen (collect_vars seen acc a) b
+    | Term.Ite (c, a, b) -> collect_vars seen (collect_vars seen (collect_vars seen acc c) a) b
+  end
+
+let rec expr (t : Term.t) =
+  match t.Term.node with
+  | Term.True -> "true"
+  | Term.False -> "false"
+  | Term.Var name -> ident name
+  | Term.Not a -> app "not" [ a ]
+  | Term.And l -> app "and" l
+  | Term.Or l -> app "or" l
+  | Term.Implies (a, b) -> app "=>" [ a; b ]
+  | Term.Iff (a, b) -> app "=" [ a; b ]
+  | Term.Ite (c, a, b) -> app "ite" [ c; a; b ]
+  | Term.At_most (k, l) ->
+    (* ((_ at-most k) x1 ... xn) *)
+    Printf.sprintf "((_ at-most %d) %s)" k (String.concat " " (List.map expr l))
+  | Term.Int_const n -> if n < 0 then Printf.sprintf "(- %d)" (-n) else string_of_int n
+  | Term.Rat_const q ->
+    let num = Exactnum.Bigint.to_string (Rat.num q) in
+    let den = Exactnum.Bigint.to_string (Rat.den q) in
+    if den = "1" then
+      if String.length num > 0 && num.[0] = '-' then
+        Printf.sprintf "(- %s.0)" (String.sub num 1 (String.length num - 1))
+      else num ^ ".0"
+    else Printf.sprintf "(/ %s.0 %s.0)" num den
+  | Term.Add (a, b) -> app "+" [ a; b ]
+  | Term.Sub (a, b) -> app "-" [ a; b ]
+  | Term.Scale (q, a) -> Printf.sprintf "(* %s %s)" (expr (Term.rat_const q)) (expr a)
+  | Term.Leq (a, b) -> app "<=" [ a; b ]
+  | Term.Lt (a, b) -> app "<" [ a; b ]
+  | Term.Eq (a, b) -> app "=" [ a; b ]
+  | Term.Bv_const v ->
+    (match Term.sort t with
+     | Sort.Bitvec w -> Printf.sprintf "(_ bv%d %d)" v w
+     | Sort.Bool | Sort.Int | Sort.Real -> assert false)
+  | Term.Bv_and (a, b) -> app "bvand" [ a; b ]
+  | Term.Bv_ule (a, b) -> app "bvule" [ a; b ]
+
+and app op args = Printf.sprintf "(%s %s)" op (String.concat " " (List.map expr args))
+
+let declarations terms =
+  let seen = Hashtbl.create 256 in
+  let vars = List.fold_left (collect_vars seen) [] terms in
+  let vars = List.sort compare (List.map (fun (n, s) -> (n, sort_str s)) vars) in
+  String.concat "\n"
+    (List.map (fun (n, s) -> Printf.sprintf "(declare-fun %s () %s)" (ident n) s) vars)
+
+let assertion t = Printf.sprintf "(assert %s)" (expr t)
+
+let script terms =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "(set-logic ALL)\n";
+  Buffer.add_string b (declarations terms);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun t ->
+      Buffer.add_string b (assertion t);
+      Buffer.add_char b '\n')
+    terms;
+  Buffer.add_string b "(check-sat)\n";
+  Buffer.contents b

@@ -1,0 +1,11 @@
+(** SMT-LIB 2 export of term assertions — for debugging encodings and
+    for cross-checking against external solvers where available. *)
+
+val declarations : Term.t list -> string
+(** [declare-fun] lines for every variable occurring in the terms. *)
+
+val assertion : Term.t -> string
+(** One [(assert ...)] line. *)
+
+val script : Term.t list -> string
+(** A complete script: declarations, assertions, [(check-sat)]. *)

@@ -1,0 +1,155 @@
+type t = { cnf : Cnf.t; mutable theory_rounds : int; mutable checked : bool }
+type result = Sat of Model.t | Unsat
+
+type stats = {
+  sat_vars : int;
+  sat_clauses : int;
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  theory_rounds : int;
+}
+
+let create () = { cnf = Cnf.create (); theory_rounds = 0; checked = false }
+let assert_term s term = Cnf.assert_term s.cnf term
+
+let check s =
+  if s.checked then invalid_arg "Solver.check: solver already used";
+  s.checked <- true;
+  let c = s.cnf in
+  let sat = Cnf.sat c in
+  let zero = Cnf.num_int_vars c in
+  let rat_atoms = Array.of_list (Cnf.rat_atoms c) in
+  let simplex =
+    Simplex.create ~nvars:(Cnf.num_rat_vars c)
+      (Array.map
+         (fun ((_, a) : int * Cnf.rat_atom) : Simplex.atom ->
+           { coeffs = a.rcoeffs; bound = a.rbound })
+         rat_atoms)
+  in
+  (* dense var -> difference atom table *)
+  let atom_of_var = Array.make (max (Sat.nvars sat) 1) None in
+  List.iter
+    (fun ((v, a) : int * Cnf.int_atom) -> atom_of_var.(v) <- Some a)
+    (Cnf.int_atoms c);
+  let idl = Idl_inc.create ~nvars:(zero + 1) in
+  let theory_pos = ref 0 in
+  let int_model = ref [||] in
+  let rat_model = ref [||] in
+  (* Process trail entries [!theory_pos, trail_size): assert difference
+     atoms incrementally; a failed assertion yields a conflict clause. *)
+  let process_new sat =
+    let size = Sat.trail_size sat in
+    let conflict = ref None in
+    while !conflict = None && !theory_pos < size do
+      let i = !theory_pos in
+      let lit = Sat.trail_lit sat i in
+      let v = Sat.lit_var lit in
+      (match atom_of_var.(v) with
+       | None -> ()
+       | Some a ->
+         let x = if a.Cnf.ix < 0 then zero else a.Cnf.ix in
+         let y = if a.Cnf.iy < 0 then zero else a.Cnf.iy in
+         let constr =
+           if Sat.lit_sign lit then { Idl_inc.x; y; k = a.Cnf.ik; tag = Sat.pos_lit v }
+           else { Idl_inc.x = y; y = x; k = -a.Cnf.ik - 1; tag = Sat.neg_lit v }
+         in
+         (match Idl_inc.assert_constr idl ~trail_pos:i constr with
+          | Ok () -> ()
+          | Error tags ->
+            s.theory_rounds <- s.theory_rounds + 1;
+            conflict := Some (List.map Sat.lit_neg tags)));
+      if !conflict = None then incr theory_pos
+    done;
+    !conflict
+  in
+  let simplex_check sat ~partial =
+    if Array.length rat_atoms = 0 then None
+    else begin
+      let assertions = ref [] in
+      Array.iteri
+        (fun i ((v, a) : int * Cnf.rat_atom) ->
+          if (not partial) || Sat.var_assigned sat v then
+            assertions := (i, Sat.value_var sat v, a.rstrict) :: !assertions)
+        rat_atoms;
+      match Simplex.check simplex ~assertions:!assertions with
+      | Error idxs ->
+        s.theory_rounds <- s.theory_rounds + 1;
+        Some
+          (List.map
+             (fun i ->
+               let v, _ = rat_atoms.(i) in
+               if Sat.value_var sat v then Sat.neg_lit v else Sat.pos_lit v)
+             idxs)
+      | Ok m ->
+        if not partial then rat_model := m;
+        None
+    end
+  in
+  let partial_calls = ref 0 in
+  let partial_check sat =
+    match process_new sat with
+    | Some clause -> [ clause ]
+    | None ->
+      incr partial_calls;
+      if Array.length rat_atoms > 0 && !partial_calls mod 64 = 0 then begin
+        match simplex_check sat ~partial:true with Some cl -> [ cl ] | None -> []
+      end
+      else []
+  in
+  let final_check sat =
+    match process_new sat with
+    | Some clause -> [ clause ]
+    | None ->
+      (match simplex_check sat ~partial:false with
+       | Some cl -> [ cl ]
+       | None ->
+         int_model := Idl_inc.model idl;
+         [])
+  in
+  let on_backtrack n =
+    Idl_inc.backtrack idl ~trail_size:n;
+    if !theory_pos > n then theory_pos := n
+  in
+  match Sat.solve ~final_check ~partial_check ~partial_interval:1 ~on_backtrack sat with
+  | Sat.Unsat -> Unsat
+  | Sat.Sat ->
+    let bools = List.map (fun (t, l) -> (t, Sat.value_lit sat l)) (Cnf.bool_var_lits c) in
+    let dist = !int_model in
+    let base = if Array.length dist > zero then dist.(zero) else 0 in
+    let ints =
+      List.map
+        (fun (t, i) -> (t, (if i < Array.length dist then dist.(i) else 0) - base))
+        (Cnf.int_var_terms c)
+    in
+    let rats =
+      List.map
+        (fun (t, i) ->
+          (t, if i < Array.length !rat_model then !rat_model.(i) else Exactnum.Rat.zero))
+        (Cnf.rat_var_terms c)
+    in
+    let bvs =
+      List.map
+        (fun (t, bits) ->
+          let v = ref 0 in
+          Array.iteri (fun i l -> if Sat.value_lit sat l then v := !v lor (1 lsl i)) bits;
+          (t, !v))
+        (Cnf.bv_var_bits c)
+    in
+    Sat (Model.create ~bools ~ints ~rats ~bvs)
+
+let check_term term =
+  let s = create () in
+  assert_term s term;
+  check s
+
+let stats s =
+  let sat = Cnf.sat s.cnf in
+  {
+    sat_vars = Sat.nvars sat;
+    sat_clauses = Sat.num_clauses sat;
+    conflicts = Sat.num_conflicts sat;
+    decisions = Sat.num_decisions sat;
+    propagations = Sat.num_propagations sat;
+    theory_rounds = s.theory_rounds;
+  }

@@ -1,0 +1,31 @@
+(** Top-level SMT solver: lazy DPLL(T) over the CDCL core with
+    difference-logic and linear-rational theory solvers, plus eager
+    bit-blasting for bit-vector terms.
+
+    Usage: {!create}, {!assert_term} any number of Boolean terms, then
+    {!check} once.  [check] answers for the conjunction of everything
+    asserted. *)
+
+type t
+
+type result = Sat of Model.t | Unsat
+
+type stats = {
+  sat_vars : int;
+  sat_clauses : int;
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  theory_rounds : int;  (** number of final theory checks performed *)
+}
+
+val create : unit -> t
+val assert_term : t -> Term.t -> unit
+
+val check : t -> result
+(** Decide the asserted conjunction.  May be called once per solver. *)
+
+val check_term : Term.t -> result
+(** One-shot convenience: a fresh solver asserting a single term. *)
+
+val stats : t -> stats

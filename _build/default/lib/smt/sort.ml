@@ -1,0 +1,15 @@
+type t = Bool | Int | Real | Bitvec of int
+
+let equal a b =
+  match (a, b) with
+  | Bool, Bool | Int, Int | Real, Real -> true
+  | Bitvec w1, Bitvec w2 -> w1 = w2
+  | (Bool | Int | Real | Bitvec _), _ -> false
+
+let to_string = function
+  | Bool -> "Bool"
+  | Int -> "Int"
+  | Real -> "Real"
+  | Bitvec w -> Printf.sprintf "BitVec(%d)" w
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,11 @@
+(** Sorts (types) of SMT terms. *)
+
+type t =
+  | Bool
+  | Int  (** mathematical integers (backed by OCaml [int] constants) *)
+  | Real  (** exact rationals *)
+  | Bitvec of int  (** fixed-width bit vectors, width in bits (1..62) *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

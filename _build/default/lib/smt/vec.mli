@@ -1,0 +1,27 @@
+(** Growable arrays, used pervasively by the SAT core. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills unused slots; it is never returned by accessors. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a
+(** @raise Invalid_argument when empty. *)
+
+val last : 'a t -> 'a
+val clear : 'a t -> unit
+val shrink : 'a t -> int -> unit
+(** [shrink v n] truncates [v] to its first [n] elements. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val sort_in_place : ('a -> 'a -> int) -> 'a t -> unit
+val swap_remove : 'a t -> int -> unit
+(** [swap_remove v i] removes element [i] by swapping in the last element
+    (constant time, does not preserve order). *)

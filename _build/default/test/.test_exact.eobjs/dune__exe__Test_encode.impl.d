@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Config Generators List Minesweeper Net Printf Smt Str

@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Exactnum List QCheck QCheck_alcotest

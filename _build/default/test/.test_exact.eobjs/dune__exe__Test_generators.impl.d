@@ -1,0 +1,1 @@
+test/test_generators.ml: Alcotest Config Generators List Minesweeper Net Printf

@@ -1,0 +1,1 @@
+test/test_minesweeper.ml: Alcotest Config List Minesweeper Net Routing Smt

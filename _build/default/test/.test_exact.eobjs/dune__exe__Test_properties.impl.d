@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Buffer Config Exactnum Generators List Minesweeper Net Printf QCheck QCheck_alcotest Random Routing Smt Str

@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Exactnum Hashtbl List Printf QCheck QCheck_alcotest Smt

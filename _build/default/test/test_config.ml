@@ -1,0 +1,172 @@
+(* Tests for the configuration parser, printer, and semantic helpers. *)
+
+module A = Config.Ast
+module Parser = Config.Parser
+module Printer = Config.Printer
+module P = Net.Prefix
+
+let sample_config =
+  {|hostname R1
+!
+interface Ethernet0
+ ip address 10.0.0.1/30
+ ip access-group BLOCK in
+ ip ospf cost 10
+!
+interface Ethernet1
+ ip address 10.1.0.1/24
+!
+ip prefix-list L deny 192.168.0.0/16 le 32
+ip prefix-list L permit 0.0.0.0/0 le 32
+!
+access-list BLOCK deny ip any 172.10.1.0 0.0.0.255
+access-list BLOCK permit ip any any
+!
+route-map IMPORT permit 10
+ match ip address prefix-list L
+ set local-preference 120
+ set community 65000:100
+!
+router bgp 65000
+ bgp router-id 1.1.1.1
+ maximum-paths 4
+ network 10.1.0.0/24
+ redistribute ospf metric 10
+ neighbor 10.0.0.2 remote-as 65001
+ neighbor 10.0.0.2 route-map IMPORT in
+!
+router ospf 1
+ network 10.0.0.0/8 area 0
+ redistribute connected
+!
+ip route 0.0.0.0/0 10.0.0.2
+ip route 10.9.0.0/16 Null0
+|}
+
+let parse () = Parser.parse_device sample_config
+
+let test_parse_basics () =
+  let d = parse () in
+  Alcotest.(check string) "hostname" "R1" d.A.dev_name;
+  Alcotest.(check int) "interfaces" 2 (List.length d.A.dev_interfaces);
+  let e0 = Option.get (A.find_interface d "Ethernet0") in
+  Alcotest.(check string) "e0 addr" "10.0.0.0/30" (P.to_string (Option.get e0.A.if_prefix));
+  Alcotest.(check string) "e0 ip" "10.0.0.1" (Net.Ipv4.to_string (Option.get e0.A.if_ip));
+  Alcotest.(check (option string)) "acl in" (Some "BLOCK") e0.A.if_acl_in;
+  Alcotest.(check int) "ospf cost" 10 e0.A.if_cost;
+  Alcotest.(check int) "statics" 2 (List.length d.A.dev_statics)
+
+let test_parse_bgp () =
+  let d = parse () in
+  let bgp = Option.get d.A.dev_bgp in
+  Alcotest.(check int) "asn" 65000 bgp.A.bgp_asn;
+  Alcotest.(check bool) "multipath" true bgp.A.bgp_multipath;
+  Alcotest.(check int) "networks" 1 (List.length bgp.A.bgp_networks);
+  Alcotest.(check int) "neighbors" 1 (List.length bgp.A.bgp_neighbors);
+  let n = List.hd bgp.A.bgp_neighbors in
+  Alcotest.(check int) "remote-as" 65001 n.A.nbr_remote_as;
+  Alcotest.(check (option string)) "rm in" (Some "IMPORT") n.A.nbr_rm_in;
+  Alcotest.(check int) "redistribute" 1 (List.length bgp.A.bgp_redistribute)
+
+let test_parse_route_map () =
+  let d = parse () in
+  let rm = Option.get (A.find_route_map d "IMPORT") in
+  Alcotest.(check int) "clauses" 1 (List.length rm.A.rm_clauses);
+  let cl = List.hd rm.A.rm_clauses in
+  Alcotest.(check int) "seq" 10 cl.A.rm_seq;
+  Alcotest.(check int) "matches" 1 (List.length cl.A.rm_matches);
+  Alcotest.(check int) "sets" 2 (List.length cl.A.rm_sets)
+
+let test_parse_acl_wildcard () =
+  let d = parse () in
+  let acl = Option.get (A.find_acl d "BLOCK") in
+  (match acl.A.acl_entries with
+   | [ e1; e2 ] ->
+     Alcotest.(check string) "wildcard to prefix" "172.10.1.0/24" (P.to_string e1.A.acl_dst);
+     Alcotest.(check bool) "deny" true (e1.A.acl_action = A.Deny);
+     Alcotest.(check int) "any" 0 (P.length e2.A.acl_dst)
+   | _ -> Alcotest.fail "expected two entries");
+  Alcotest.(check bool) "blocks" false (A.acl_permits acl (Net.Ipv4.of_string "172.10.1.77"));
+  Alcotest.(check bool) "permits" true (A.acl_permits acl (Net.Ipv4.of_string "8.8.8.8"))
+
+let test_prefix_list_semantics () =
+  let d = parse () in
+  let pl = Option.get (A.find_prefix_list d "L") in
+  Alcotest.(check bool) "denied" false (A.prefix_list_permits pl (P.of_string "192.168.4.0/24"));
+  Alcotest.(check bool) "permitted" true (A.prefix_list_permits pl (P.of_string "10.1.0.0/24"));
+  (* ge/le semantics *)
+  let entry =
+    { A.pl_action = A.Permit; pl_prefix = P.of_string "10.0.0.0/8"; pl_ge = Some 24; pl_le = Some 28 }
+  in
+  let pl2 = { A.pl_name = "X"; pl_entries = [ entry ] } in
+  Alcotest.(check bool) "inside range" true (A.prefix_list_permits pl2 (P.of_string "10.3.3.0/24"));
+  Alcotest.(check bool) "too short" false (A.prefix_list_permits pl2 (P.of_string "10.3.0.0/16"));
+  Alcotest.(check bool) "too long" false (A.prefix_list_permits pl2 (P.of_string "10.3.3.0/30"));
+  Alcotest.(check bool) "wrong net" false (A.prefix_list_permits pl2 (P.of_string "11.3.3.0/24"))
+
+let test_roundtrip () =
+  let d = parse () in
+  let printed = Printer.device_to_string d in
+  let d2 = Parser.parse_device printed in
+  let printed2 = Printer.device_to_string d2 in
+  Alcotest.(check string) "print . parse . print fixpoint" printed printed2;
+  Alcotest.(check bool) "structurally equal" true (d = d2)
+
+let test_parse_errors () =
+  let expect_error text =
+    match Parser.parse_device text with
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" text
+  in
+  expect_error "hostname R1\nbanana stand\n";
+  expect_error "hostname R1\ninterface e0\n ip address 10.0.0.300/24\n";
+  expect_error "hostname R1\nrouter bgp notanumber\n";
+  expect_error "hostname R1\nroute-map M permit ten\n";
+  expect_error "hostname R1\n set local-preference 5\n"
+
+let two_device_config =
+  {|hostname A
+interface e0
+ ip address 192.168.12.1/30
+router ospf 1
+ network 192.168.0.0/16
+!
+hostname B
+interface e0
+ ip address 192.168.12.2/30
+router ospf 1
+ network 192.168.0.0/16
+|}
+
+let test_network_inference () =
+  let net = Parser.parse_network two_device_config in
+  Alcotest.(check int) "devices" 2 (List.length net.A.net_devices);
+  Alcotest.(check int) "links" 1 (Net.Topology.num_links net.A.net_topology);
+  match Net.Topology.peer net.A.net_topology "A" "e0" with
+  | Some (d, _) -> Alcotest.(check string) "peer" "B" d
+  | None -> Alcotest.fail "inferred link missing"
+
+let test_config_lines () =
+  let d = parse () in
+  Alcotest.(check bool) "line count positive" true (Printer.config_lines d > 20)
+
+let () =
+  Alcotest.run "config"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "basics" `Quick test_parse_basics;
+          Alcotest.test_case "bgp" `Quick test_parse_bgp;
+          Alcotest.test_case "route-map" `Quick test_parse_route_map;
+          Alcotest.test_case "acl wildcard" `Quick test_parse_acl_wildcard;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "network inference" `Quick test_network_inference;
+        ] );
+      ( "semantics",
+        [ Alcotest.test_case "prefix-list" `Quick test_prefix_list_semantics ] );
+      ( "printer",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "config lines" `Quick test_config_lines;
+        ] );
+    ]

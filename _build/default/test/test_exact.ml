@@ -1,0 +1,134 @@
+(* Unit and property tests for the exact-arithmetic substrate. *)
+
+module B = Exactnum.Bigint
+module Q = Exactnum.Rat
+
+let check_b msg expected actual = Alcotest.(check string) msg expected (B.to_string actual)
+
+let test_bigint_basic () =
+  check_b "zero" "0" B.zero;
+  check_b "of_int" "123456789" (B.of_int 123456789);
+  check_b "neg" "-42" (B.of_int (-42));
+  check_b "add" "300" (B.add (B.of_int 100) (B.of_int 200));
+  check_b "add mixed" "-100" (B.add (B.of_int 100) (B.of_int (-200)));
+  check_b "mul" "-600" (B.mul (B.of_int 30) (B.of_int (-20)));
+  check_b "big mul" "1000000000000000000000000"
+    (B.mul (B.of_string "1000000000000") (B.of_string "1000000000000"));
+  Alcotest.(check int) "sign" (-1) (B.sign (B.of_int (-3)));
+  Alcotest.(check bool) "equal" true (B.equal (B.of_int 7) (B.of_string "7"))
+
+let test_bigint_divmod () =
+  let q, r = B.divmod (B.of_int 17) (B.of_int 5) in
+  check_b "17/5 q" "3" q;
+  check_b "17/5 r" "2" r;
+  let q, r = B.divmod (B.of_int (-17)) (B.of_int 5) in
+  check_b "-17/5 q" "-3" q;
+  check_b "-17/5 r" "-2" r;
+  let big = B.of_string "123456789012345678901234567890" in
+  let divisor = B.of_string "987654321" in
+  let q, r = B.divmod big divisor in
+  (* Verify the division identity and remainder bound rather than
+     trusting transcribed digits. *)
+  check_b "identity" (B.to_string big) (B.add (B.mul q divisor) r);
+  Alcotest.(check bool) "remainder bound" true (B.compare (B.abs r) divisor < 0);
+  Alcotest.(check bool) "q positive" true (B.sign q = 1)
+
+let test_bigint_string_roundtrip () =
+  List.iter
+    (fun s -> check_b ("roundtrip " ^ s) s (B.of_string s))
+    [ "0"; "1"; "-1"; "999999999999999999999999999999"; "-123456789123456789" ]
+
+let test_bigint_gcd () =
+  check_b "gcd" "6" (B.gcd (B.of_int 54) (B.of_int (-24)));
+  check_b "gcd zero" "5" (B.gcd (B.of_int 0) (B.of_int 5));
+  check_b "gcd both zero" "0" (B.gcd B.zero B.zero)
+
+let test_to_int_opt () =
+  Alcotest.(check (option int)) "small" (Some 42) (B.to_int_opt (B.of_int 42));
+  Alcotest.(check (option int)) "negative" (Some (-42)) (B.to_int_opt (B.of_int (-42)));
+  Alcotest.(check (option int))
+    "max_int" (Some max_int)
+    (B.to_int_opt (B.of_int max_int));
+  Alcotest.(check (option int))
+    "too big" None
+    (B.to_int_opt (B.mul (B.of_int max_int) (B.of_int 2)))
+
+let check_q msg expected actual = Alcotest.(check string) msg expected (Q.to_string actual)
+
+let test_rat_basic () =
+  check_q "normalize" "1/2" (Q.of_ints 2 4);
+  check_q "neg den" "-1/2" (Q.of_ints 1 (-2));
+  check_q "add" "5/6" (Q.add (Q.of_ints 1 2) (Q.of_ints 1 3));
+  check_q "sub" "1/6" (Q.sub (Q.of_ints 1 2) (Q.of_ints 1 3));
+  check_q "mul" "1/6" (Q.mul (Q.of_ints 1 2) (Q.of_ints 1 3));
+  check_q "div" "3/2" (Q.div (Q.of_ints 1 2) (Q.of_ints 1 3));
+  check_q "int repr" "7" (Q.of_int 7);
+  Alcotest.(check bool) "lt" true (Q.lt (Q.of_ints 1 3) (Q.of_ints 1 2));
+  Alcotest.(check bool) "compare eq" true (Q.equal (Q.of_ints 3 9) (Q.of_ints 1 3))
+
+let test_rat_of_string () =
+  check_q "frac" "1/3" (Q.of_string "2/6");
+  check_q "decimal" "5/4" (Q.of_string "1.25");
+  check_q "neg decimal" "-5/4" (Q.of_string "-1.25");
+  check_q "int" "17" (Q.of_string "17")
+
+(* Property tests against native int arithmetic on small values. *)
+let small_int = QCheck.int_range (-1_000_000) 1_000_000
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"bigint add matches int" ~count:500
+    (QCheck.pair small_int small_int) (fun (a, b) ->
+      B.to_int_opt (B.add (B.of_int a) (B.of_int b)) = Some (a + b))
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"bigint mul matches int" ~count:500
+    (QCheck.pair small_int small_int) (fun (a, b) ->
+      B.to_int_opt (B.mul (B.of_int a) (B.of_int b)) = Some (a * b))
+
+let prop_divmod_identity =
+  QCheck.Test.make ~name:"divmod identity a = q*b + r" ~count:500
+    (QCheck.pair small_int (QCheck.int_range 1 100000))
+    (fun (a, b) ->
+      let q, r = B.divmod (B.of_int a) (B.of_int b) in
+      B.equal (B.of_int a) (B.add (B.mul q (B.of_int b)) r)
+      && B.compare (B.abs r) (B.of_int b) < 0)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"bigint string roundtrip" ~count:300
+    (QCheck.pair small_int small_int) (fun (a, b) ->
+      let x = B.mul (B.of_int a) (B.mul (B.of_int b) (B.of_int 1_000_003)) in
+      B.equal x (B.of_string (B.to_string x)))
+
+let prop_rat_field =
+  QCheck.Test.make ~name:"rat add/mul distribute" ~count:300
+    (QCheck.triple small_int small_int (QCheck.int_range 1 1000))
+    (fun (a, b, d) ->
+      let qa = Q.of_ints a d and qb = Q.of_ints b d and qc = Q.of_ints 3 7 in
+      Q.equal (Q.mul qc (Q.add qa qb)) (Q.add (Q.mul qc qa) (Q.mul qc qb)))
+
+let () =
+  Alcotest.run "exact"
+    [
+      ( "bigint",
+        [
+          Alcotest.test_case "basics" `Quick test_bigint_basic;
+          Alcotest.test_case "divmod" `Quick test_bigint_divmod;
+          Alcotest.test_case "string roundtrip" `Quick test_bigint_string_roundtrip;
+          Alcotest.test_case "gcd" `Quick test_bigint_gcd;
+          Alcotest.test_case "to_int_opt" `Quick test_to_int_opt;
+        ] );
+      ( "rat",
+        [
+          Alcotest.test_case "basics" `Quick test_rat_basic;
+          Alcotest.test_case "of_string" `Quick test_rat_of_string;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_add_matches_int;
+            prop_mul_matches_int;
+            prop_divmod_identity;
+            prop_string_roundtrip;
+            prop_rat_field;
+          ] );
+    ]

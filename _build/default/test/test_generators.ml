@@ -1,0 +1,144 @@
+(* Tests of the workload generators and the §8.1 / §8.2 checks on them:
+   each injected violation class is found, clean networks verify. *)
+
+module A = Config.Ast
+module MS = Minesweeper
+module P = Net.Prefix
+module G = Generators
+
+let violated = function MS.Verify.Violation _ -> true | MS.Verify.Holds -> false
+
+let mgmt_reachable (t : G.Enterprise.t) =
+  (* all devices can reach the first rack's (or any) management subnet *)
+  let devices = List.map (fun (d : A.device) -> d.A.dev_name) t.G.Enterprise.network.A.net_devices in
+  let target = List.hd (List.rev devices) in
+  let enc = MS.Encode.build t.G.Enterprise.network MS.Options.default in
+  let prop =
+    MS.Property.reachability enc ~sources:devices
+      (MS.Property.Subnet (target, t.G.Enterprise.mgmt_prefix target))
+  in
+  MS.Verify.check enc prop
+
+let rack_acl_equiv (t : G.Enterprise.t) =
+  match t.G.Enterprise.rack_role with
+  | r1 :: r2 :: _ ->
+    let enc = MS.Encode.build t.G.Enterprise.network MS.Options.default in
+    Some (MS.Verify.check enc (MS.Property.acl_equivalence enc r1 r2))
+  | _ -> None
+
+let blackhole_check (t : G.Enterprise.t) =
+  let enc = MS.Encode.build t.G.Enterprise.network MS.Options.default in
+  let allowed = t.G.Enterprise.edge_routers @ t.G.Enterprise.rack_role in
+  MS.Verify.check enc (MS.Property.no_blackholes enc ~allowed ())
+
+let make inject = G.Enterprise.make ~seed:42 ~routers:8 ~inject ()
+
+let test_enterprise_clean () =
+  let t = make G.Enterprise.no_bugs in
+  Alcotest.(check bool) "mgmt reachable" false (violated (mgmt_reachable t));
+  (match rack_acl_equiv t with
+   | Some o -> Alcotest.(check bool) "racks equivalent" false (violated o)
+   | None -> Alcotest.fail "expected rack role");
+  Alcotest.(check bool) "no blackholes" false (violated (blackhole_check t))
+
+let test_enterprise_hijack () =
+  let t = make { G.Enterprise.no_bugs with hijack = true } in
+  Alcotest.(check bool) "hijack detected" true (violated (mgmt_reachable t));
+  Alcotest.(check bool) "no blackholes still" false (violated (blackhole_check t))
+
+let test_enterprise_acl_gap () =
+  let t = make { G.Enterprise.no_bugs with acl_gap = true } in
+  (match rack_acl_equiv t with
+   | Some o -> Alcotest.(check bool) "inconsistency found" true (violated o)
+   | None -> Alcotest.fail "expected rack role");
+  Alcotest.(check bool) "mgmt unaffected" false (violated (mgmt_reachable t))
+
+let test_enterprise_deep_drop () =
+  let t = make { G.Enterprise.no_bugs with deep_drop = true } in
+  Alcotest.(check bool) "deep blackhole found" true (violated (blackhole_check t));
+  Alcotest.(check bool) "mgmt unaffected" false (violated (mgmt_reachable t))
+
+let test_enterprise_config_size () =
+  let small = G.Enterprise.make ~bulk:8 ~seed:1 ~routers:2 ~inject:G.Enterprise.no_bugs () in
+  let big = G.Enterprise.make ~bulk:600 ~seed:1 ~routers:25 ~inject:G.Enterprise.no_bugs () in
+  let lines t = Config.Printer.network_config_lines t.G.Enterprise.network in
+  Alcotest.(check bool) "small has hundreds of lines" true (lines small < 1500);
+  Alcotest.(check bool) "big in the thousands" true (lines big > 2000)
+
+(* -- fat tree ------------------------------------------------------------------- *)
+
+let test_fattree_shape () =
+  List.iter
+    (fun (pods, expect) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%d pods" pods)
+        expect
+        (G.Fattree.num_routers ~pods))
+    [ (2, 5); (6, 45); (10, 125); (14, 245); (18, 405) ];
+  let t = G.Fattree.make ~pods:2 in
+  Alcotest.(check int) "device count" 5 (List.length t.G.Fattree.network.A.net_devices);
+  Alcotest.(check int) "tors" 2 (List.length t.G.Fattree.tors);
+  Alcotest.(check int) "cores" 1 (List.length t.G.Fattree.cores)
+
+let test_fattree_reachability () =
+  let t = G.Fattree.make ~pods:2 in
+  let enc = MS.Encode.build t.G.Fattree.network MS.Options.default in
+  let dst_tor = List.hd t.G.Fattree.tors in
+  let sources = List.filter (fun x -> x <> dst_tor) t.G.Fattree.tors in
+  let dest = MS.Property.Subnet (dst_tor, t.G.Fattree.tor_subnet dst_tor) in
+  let o = MS.Verify.check enc (MS.Property.reachability enc ~sources dest) in
+  Alcotest.(check bool) "all tors reach" false (violated o)
+
+let test_fattree_bounded_length () =
+  let t = G.Fattree.make ~pods:2 in
+  let enc = MS.Encode.build t.G.Fattree.network MS.Options.default in
+  let dst_tor = List.hd t.G.Fattree.tors in
+  let sources = List.filter (fun x -> x <> dst_tor) t.G.Fattree.tors in
+  let dest = MS.Property.Subnet (dst_tor, t.G.Fattree.tor_subnet dst_tor) in
+  let ok = MS.Verify.check enc (MS.Property.bounded_length enc ~sources dest ~bound:4) in
+  Alcotest.(check bool) "within 4 hops" false (violated ok);
+  (* a 1-hop bound must be violated: tor-agg-tor is already 2 *)
+  let enc2 = MS.Encode.build t.G.Fattree.network MS.Options.default in
+  let too_tight =
+    MS.Verify.check enc2 (MS.Property.bounded_length enc2 ~sources dest ~bound:1)
+  in
+  Alcotest.(check bool) "1 hop impossible" true (violated too_tight)
+
+let test_fattree_filters_block_internal () =
+  (* the backbone cannot hijack a ToR subnet thanks to the core filters *)
+  let t = G.Fattree.make ~pods:2 in
+  let enc = MS.Encode.build t.G.Fattree.network MS.Options.default in
+  let dst_tor = List.hd t.G.Fattree.tors in
+  let sources = List.filter (fun x -> x <> dst_tor) t.G.Fattree.tors in
+  let dest = MS.Property.Subnet (dst_tor, t.G.Fattree.tor_subnet dst_tor) in
+  let o = MS.Verify.check enc (MS.Property.reachability enc ~sources dest) in
+  Alcotest.(check bool) "no hijack through filters" false (violated o)
+
+let test_fattree_multipath_consistency () =
+  let t = G.Fattree.make ~pods:2 in
+  let enc = MS.Encode.build t.G.Fattree.network MS.Options.default in
+  let dst_tor = List.hd t.G.Fattree.tors in
+  let dest = MS.Property.Subnet (dst_tor, t.G.Fattree.tor_subnet dst_tor) in
+  let o = MS.Verify.check enc (MS.Property.multipath_consistency enc dest) in
+  Alcotest.(check bool) "consistent" false (violated o)
+
+let () =
+  Alcotest.run "generators"
+    [
+      ( "enterprise",
+        [
+          Alcotest.test_case "clean verifies" `Quick test_enterprise_clean;
+          Alcotest.test_case "hijack" `Quick test_enterprise_hijack;
+          Alcotest.test_case "acl gap" `Quick test_enterprise_acl_gap;
+          Alcotest.test_case "deep drop" `Quick test_enterprise_deep_drop;
+          Alcotest.test_case "config size" `Quick test_enterprise_config_size;
+        ] );
+      ( "fattree",
+        [
+          Alcotest.test_case "shape" `Quick test_fattree_shape;
+          Alcotest.test_case "reachability" `Quick test_fattree_reachability;
+          Alcotest.test_case "bounded length" `Quick test_fattree_bounded_length;
+          Alcotest.test_case "filters" `Quick test_fattree_filters_block_internal;
+          Alcotest.test_case "multipath consistency" `Quick test_fattree_multipath_consistency;
+        ] );
+    ]

@@ -1,0 +1,265 @@
+(* End-to-end tests of the Minesweeper encoder + verifier, including
+   differential tests against the concrete control-plane simulator. *)
+
+module A = Config.Ast
+module MS = Minesweeper
+module T = Smt.Term
+module P = Net.Prefix
+module Ip = Net.Ipv4
+
+let parse = Config.Parser.parse_network
+let _ip = Ip.of_string
+
+let default = MS.Options.default
+
+let _outcome_str = function
+  | MS.Verify.Holds -> "holds"
+  | MS.Verify.Violation cx -> "violated:\n" ^ MS.Counterexample.to_string cx
+
+let check_holds msg net opts prop =
+  match MS.Verify.verify net opts prop with
+  | MS.Verify.Holds -> ()
+  | MS.Verify.Violation cx ->
+    Alcotest.failf "%s: expected holds, got violation:\n%s" msg (MS.Counterexample.to_string cx)
+
+let check_violated msg net opts prop =
+  match MS.Verify.verify net opts prop with
+  | MS.Verify.Violation _ -> ()
+  | MS.Verify.Holds -> Alcotest.failf "%s: expected violation, got holds" msg
+
+(* -- basic reachability ---------------------------------------------------------- *)
+
+let ospf_pair =
+  {|hostname R1
+interface e0
+ ip address 192.168.12.1/30
+interface e1
+ ip address 10.1.0.1/24
+router ospf 1
+ network 0.0.0.0/0
+!
+hostname R2
+interface e0
+ ip address 192.168.12.2/30
+interface e1
+ ip address 10.2.0.1/24
+router ospf 1
+ network 0.0.0.0/0
+|}
+
+let test_ospf_reachability () =
+  let net = parse ospf_pair in
+  check_holds "R1 reaches R2 subnet" net default (fun enc ->
+      MS.Property.reachability enc ~sources:[ "R1" ] (MS.Property.Subnet ("R2", P.of_string "10.2.0.0/24")));
+  check_holds "R2 reaches R1 subnet" net default (fun enc ->
+      MS.Property.reachability enc ~sources:[ "R2" ] (MS.Property.Subnet ("R1", P.of_string "10.1.0.0/24")));
+  (* R1 cannot claim isolation *)
+  check_violated "isolation is false" net default (fun enc ->
+      MS.Property.isolation enc ~sources:[ "R1" ] (MS.Property.Subnet ("R2", P.of_string "10.2.0.0/24")))
+
+let acl_net =
+  {|hostname R1
+interface e0
+ ip address 192.168.12.1/30
+router ospf 1
+ network 0.0.0.0/0
+!
+hostname R2
+interface e0
+ ip address 192.168.12.2/30
+ ip access-group BLOCK in
+interface e1
+ ip address 10.2.0.1/24
+access-list BLOCK deny ip any 10.2.0.0 0.0.0.255
+access-list BLOCK permit ip any any
+router ospf 1
+ network 0.0.0.0/0
+|}
+
+let test_acl_blocks_reachability () =
+  let net = parse acl_net in
+  check_violated "ACL blocks R1 -> R2 subnet" net default (fun enc ->
+      MS.Property.reachability enc ~sources:[ "R1" ] (MS.Property.Subnet ("R2", P.of_string "10.2.0.0/24")));
+  (* and the ACL makes isolation hold *)
+  check_holds "isolation behind ACL" net default (fun enc ->
+      MS.Property.isolation enc ~sources:[ "R1" ] (MS.Property.Subnet ("R2", P.of_string "10.2.0.0/24")))
+
+(* -- eBGP + symbolic environment --------------------------------------------------- *)
+
+(* R1 has the management subnet; R2 peers with a symbolic external
+   neighbor.  Without an import filter the environment can hijack the
+   management prefix (the §8.1 violation class). *)
+let hijackable =
+  {|hostname R1
+interface e0
+ ip address 192.168.12.1/30
+interface mgmt0
+ ip address 10.99.0.1/24
+router bgp 100
+ network 10.99.0.0/24
+ neighbor 192.168.12.2 remote-as 200
+!
+hostname R2
+interface e0
+ ip address 192.168.12.2/30
+interface e1
+ ip address 192.168.100.1/30
+router bgp 200
+ neighbor 192.168.12.1 remote-as 100
+ neighbor 192.168.100.2 remote-as 65001
+|}
+
+let protected_ =
+  {|hostname R1
+interface e0
+ ip address 192.168.12.1/30
+interface mgmt0
+ ip address 10.99.0.1/24
+router bgp 100
+ network 10.99.0.0/24
+ neighbor 192.168.12.2 remote-as 200
+!
+hostname R2
+interface e0
+ ip address 192.168.12.2/30
+interface e1
+ ip address 192.168.100.1/30
+ip prefix-list NOHIJACK deny 10.99.0.0/24 le 32
+ip prefix-list NOHIJACK permit 0.0.0.0/0 le 32
+route-map IMPORT permit 10
+ match ip address prefix-list NOHIJACK
+router bgp 200
+ neighbor 192.168.12.1 remote-as 100
+ neighbor 192.168.100.2 remote-as 65001
+ neighbor 192.168.100.2 route-map IMPORT in
+|}
+
+let mgmt_dest = MS.Property.Subnet ("R1", P.of_string "10.99.0.0/24")
+
+let test_hijack_found () =
+  check_violated "management prefix hijackable" (parse hijackable) default (fun enc ->
+      MS.Property.reachability enc ~sources:[ "R2" ] mgmt_dest)
+
+let test_hijack_counterexample_details () =
+  let net = parse hijackable in
+  let enc = MS.Encode.build net default in
+  match MS.Verify.check enc (MS.Property.reachability enc ~sources:[ "R2" ] mgmt_dest) with
+  | MS.Verify.Holds -> Alcotest.fail "expected hijack"
+  | MS.Verify.Violation cx ->
+    (* the counterexample must involve an external announcement covering
+       the destination *)
+    Alcotest.(check bool) "has announcement" true (cx.MS.Counterexample.announcements <> []);
+    Alcotest.(check bool) "dst in mgmt subnet" true
+      (P.contains (P.of_string "10.99.0.0/24") cx.MS.Counterexample.dst_ip)
+
+let test_hijack_filtered () =
+  check_holds "import filter prevents hijack" (parse protected_) default (fun enc ->
+      MS.Property.reachability enc ~sources:[ "R2" ] mgmt_dest)
+
+(* -- concrete-environment assumptions: differential vs the simulator --------------- *)
+
+(* Constrain the symbolic environment to a concrete one. *)
+let concrete_env enc (ads : (string * string * int * int) list) =
+  (* (device, peer, plen, pathlen); peers not listed announce nothing *)
+  List.concat_map
+    (fun d ->
+      List.map
+        (fun (p, _) ->
+          let r = MS.Encode.env_record enc d p in
+          match
+            List.find_opt (fun (d', p', _, _) -> d' = d && p' = p) ads
+          with
+          | Some (_, _, plen, pathlen) ->
+            T.and_
+              [
+                r.MS.Sym_record.valid;
+                T.eq r.MS.Sym_record.plen (T.int_const plen);
+                T.eq r.MS.Sym_record.metric (T.int_const pathlen);
+                T.eq r.MS.Sym_record.med (T.int_const 0);
+              ]
+          | None -> T.not_ r.MS.Sym_record.valid)
+        (MS.Encode.external_peers enc d))
+    (MS.Encode.devices enc)
+
+let ebgp_external =
+  {|hostname R1
+interface e0
+ ip address 192.168.100.1/30
+interface e1
+ ip address 192.168.200.1/30
+interface e2
+ ip address 10.1.0.1/24
+router bgp 100
+ network 10.1.0.0/24
+ neighbor 192.168.100.2 remote-as 65001
+ neighbor 192.168.200.2 remote-as 65002
+|}
+
+let test_concrete_env_exit () =
+  (* with exactly one peer announcing a default-ish route, traffic to an
+     external destination must leave via that peer *)
+  let net = parse ebgp_external in
+  let enc = MS.Encode.build net default in
+  let peer1 = "peer:192.168.100.2" in
+  let ads = [ ("R1", peer1, 8, 1) ] in
+  let base = MS.Property.reachability enc ~sources:[ "R1" ] (MS.Property.External_peer peer1) in
+  let prop =
+    {
+      base with
+      MS.Property.assumptions =
+        base.MS.Property.assumptions @ concrete_env enc ads
+        @ [ MS.Packet.dst_in_prefix (MS.Encode.packet enc) (P.of_string "11.0.0.0/8") ];
+    }
+  in
+  match MS.Verify.check enc prop with
+  | MS.Verify.Holds -> ()
+  | MS.Verify.Violation cx ->
+    Alcotest.failf "expected exit via peer1:\n%s" (MS.Counterexample.to_string cx)
+
+(* Differential: simulator vs encoder on shared scenarios. *)
+let differential_nets =
+  [
+    ("ospf_pair", ospf_pair, [ ("R1", "R2", "10.2.0.0/24"); ("R2", "R1", "10.1.0.0/24") ]);
+    ("acl_net", acl_net, [ ("R1", "R2", "10.2.0.0/24") ]);
+  ]
+
+let test_differential_reachability () =
+  List.iter
+    (fun (name, text, cases) ->
+      let net = parse text in
+      let state = Routing.Simulator.run net Routing.Simulator.empty_env in
+      List.iter
+        (fun (src, owner, subnet) ->
+          let p = P.of_string subnet in
+          let concrete = Routing.Dataplane.reachable net state ~src ~dst:(P.first p) in
+          let enc = MS.Encode.build net default in
+          let prop = MS.Property.reachability enc ~sources:[ src ] (MS.Property.Subnet (owner, p)) in
+          (* no external peers here, so "all environments" is the
+             concrete environment *)
+          let symbolic =
+            match MS.Verify.check enc prop with MS.Verify.Holds -> true | MS.Verify.Violation _ -> false
+          in
+          if concrete <> symbolic then
+            Alcotest.failf "%s: %s -> %s: simulator=%b minesweeper=%b" name src subnet concrete
+              symbolic)
+        cases)
+    differential_nets
+
+let () =
+  Alcotest.run "minesweeper"
+    [
+      ( "reachability",
+        [
+          Alcotest.test_case "ospf pair" `Quick test_ospf_reachability;
+          Alcotest.test_case "acl blocks" `Quick test_acl_blocks_reachability;
+        ] );
+      ( "environment",
+        [
+          Alcotest.test_case "hijack found" `Quick test_hijack_found;
+          Alcotest.test_case "hijack counterexample" `Quick test_hijack_counterexample_details;
+          Alcotest.test_case "hijack filtered" `Quick test_hijack_filtered;
+          Alcotest.test_case "concrete env exit" `Quick test_concrete_env_exit;
+        ] );
+      ( "differential",
+        [ Alcotest.test_case "reachability vs simulator" `Quick test_differential_reachability ] );
+    ]

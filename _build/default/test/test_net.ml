@@ -1,0 +1,88 @@
+(* Tests for IPv4 addresses, prefixes, communities and topologies. *)
+
+module Ip = Net.Ipv4
+module P = Net.Prefix
+module C = Net.Community
+module T = Net.Topology
+
+let test_ipv4 () =
+  Alcotest.(check string) "roundtrip" "10.1.2.3" (Ip.to_string (Ip.of_string "10.1.2.3"));
+  Alcotest.(check int) "value" ((10 lsl 24) lor (1 lsl 16) lor (2 lsl 8) lor 3) (Ip.of_string "10.1.2.3");
+  Alcotest.(check (option int)) "bad octet" None (Ip.of_string_opt "10.1.2.256");
+  Alcotest.(check (option int)) "not an ip" None (Ip.of_string_opt "banana");
+  Alcotest.(check (option int)) "too few" None (Ip.of_string_opt "10.1.2");
+  Alcotest.(check int) "octet 0" 10 (Ip.octet (Ip.of_string "10.1.2.3") 0);
+  Alcotest.(check int) "octet 3" 3 (Ip.octet (Ip.of_string "10.1.2.3") 3);
+  Alcotest.(check string) "max" "255.255.255.255" (Ip.to_string Ip.max)
+
+let test_prefix () =
+  let p = P.of_string "10.1.2.3/24" in
+  Alcotest.(check string) "masked" "10.1.2.0/24" (P.to_string p);
+  Alcotest.(check bool) "contains inside" true (P.contains p (Ip.of_string "10.1.2.200"));
+  Alcotest.(check bool) "contains outside" false (P.contains p (Ip.of_string "10.1.3.0"));
+  Alcotest.(check string) "first" "10.1.2.0" (Ip.to_string (P.first p));
+  Alcotest.(check string) "last" "10.1.2.255" (Ip.to_string (P.last p));
+  let q = P.of_string "10.1.0.0/16" in
+  Alcotest.(check bool) "subset" true (P.subset p q);
+  Alcotest.(check bool) "not subset" false (P.subset q p);
+  Alcotest.(check bool) "overlaps" true (P.overlaps q p);
+  Alcotest.(check bool) "disjoint" false (P.overlaps p (P.of_string "10.2.0.0/16"));
+  Alcotest.(check string) "supernet" "10.1.0.0/16" (P.to_string (P.supernet p 16));
+  Alcotest.(check string) "host" "1.2.3.4/32" (P.to_string (P.host (Ip.of_string "1.2.3.4")));
+  let all = P.of_string "0.0.0.0/0" in
+  Alcotest.(check bool) "default contains" true (P.contains all (Ip.of_string "200.1.1.1"));
+  Alcotest.(check string) "default last" "255.255.255.255" (Ip.to_string (P.last all))
+
+let test_community () =
+  let c = C.of_string "65000:100" in
+  Alcotest.(check string) "roundtrip" "65000:100" (C.to_string c);
+  Alcotest.(check bool) "bad" true (C.of_string_opt "65000" = None);
+  Alcotest.(check bool) "out of range" true (C.of_string_opt "70000:1" = None)
+
+let test_topology () =
+  let link a ai b bi =
+    { T.a = { T.device = a; interface = ai }; b = { T.device = b; interface = bi } }
+  in
+  let t = T.empty in
+  let t = T.add_link t (link "R1" "e0" "R2" "e0") in
+  let t = T.add_link t (link "R1" "e1" "R3" "e0") in
+  Alcotest.(check (list string)) "devices" [ "R1"; "R2"; "R3" ] (T.devices t);
+  Alcotest.(check int) "degree R1" 2 (T.degree t "R1");
+  Alcotest.(check int) "degree R2" 1 (T.degree t "R2");
+  (match T.peer t "R1" "e1" with
+   | Some (d, i) ->
+     Alcotest.(check string) "peer dev" "R3" d;
+     Alcotest.(check string) "peer if" "e0" i
+   | None -> Alcotest.fail "peer missing");
+  Alcotest.(check bool) "no peer" true (T.peer t "R2" "e9" = None);
+  Alcotest.check_raises "self link" (Invalid_argument "Topology.add_link: self-link") (fun () ->
+      ignore (T.add_link t (link "R1" "e5" "R1" "e6")))
+
+let prop_prefix_contains_consistent =
+  QCheck.Test.make ~name:"prefix contains first/last" ~count:300
+    (QCheck.pair (QCheck.int_range 0 0xffffff) (QCheck.int_range 0 32))
+    (fun (base, len) ->
+      let p = P.make (base * 251) len in
+      P.contains p (P.first p) && P.contains p (P.last p))
+
+let prop_prefix_string_roundtrip =
+  QCheck.Test.make ~name:"prefix string roundtrip" ~count:300
+    (QCheck.pair (QCheck.int_range 0 0xffffff) (QCheck.int_range 0 32))
+    (fun (base, len) ->
+      let p = P.make (base * 65521) len in
+      P.equal p (P.of_string (P.to_string p)))
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "ipv4" `Quick test_ipv4;
+          Alcotest.test_case "prefix" `Quick test_prefix;
+          Alcotest.test_case "community" `Quick test_community;
+          Alcotest.test_case "topology" `Quick test_topology;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_prefix_contains_consistent; prop_prefix_string_roundtrip ] );
+    ]

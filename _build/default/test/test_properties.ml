@@ -1,0 +1,366 @@
+(* Coverage for the remaining §5 properties: waypointing, disjoint
+   paths, loops, load balancing, leaks, failures, fault invariance and
+   full equivalence — plus a randomized differential test of the
+   encoder against the concrete simulator, and a naive-vs-optimized
+   agreement check (the encodings must give identical verdicts). *)
+
+module A = Config.Ast
+module MS = Minesweeper
+module T = Smt.Term
+module P = Net.Prefix
+module Ip = Net.Ipv4
+module Rat = Exactnum.Rat
+
+let parse = Config.Parser.parse_network
+let default = MS.Options.default
+
+let violated = function MS.Verify.Violation _ -> true | MS.Verify.Holds -> false
+
+let check net opts prop = MS.Verify.verify net opts prop
+
+(* chain R1 - R2 - R3 with a destination subnet on R3 *)
+let chain3 =
+  {|hostname R1
+interface e0
+ ip address 192.168.12.1/30
+router ospf 1
+ network 0.0.0.0/0
+!
+hostname R2
+interface e0
+ ip address 192.168.12.2/30
+interface e1
+ ip address 192.168.23.1/30
+router ospf 1
+ network 0.0.0.0/0
+!
+hostname R3
+interface e0
+ ip address 192.168.23.2/30
+interface e1
+ ip address 10.3.0.1/24
+router ospf 1
+ network 0.0.0.0/0
+|}
+
+(* diamond S - (A | B) - T with a destination on T *)
+let diamond =
+  {|hostname S
+interface e0
+ ip address 192.168.1.1/30
+interface e1
+ ip address 192.168.2.1/30
+router ospf 1
+ network 0.0.0.0/0
+!
+hostname A
+interface e0
+ ip address 192.168.1.2/30
+interface e1
+ ip address 192.168.3.1/30
+router ospf 1
+ network 0.0.0.0/0
+!
+hostname B
+interface e0
+ ip address 192.168.2.2/30
+interface e1
+ ip address 192.168.4.1/30
+router ospf 1
+ network 0.0.0.0/0
+!
+hostname T
+interface e0
+ ip address 192.168.3.2/30
+interface e1
+ ip address 192.168.4.2/30
+interface lan
+ ip address 10.9.0.1/24
+router ospf 1
+ network 0.0.0.0/0
+|}
+
+let dest_t = MS.Property.Subnet ("T", P.of_string "10.9.0.0/24")
+let dest_r3 = MS.Property.Subnet ("R3", P.of_string "10.3.0.0/24")
+
+let test_waypoint () =
+  let net = parse chain3 in
+  (* all R1 traffic to R3's subnet passes through R2: structural *)
+  Alcotest.(check bool) "chain waypoint" false
+    (violated (check net default (fun enc -> MS.Property.waypoint enc ~sources:[ "R1" ] dest_r3 ~via:"R2")));
+  (* in the diamond, ECMP means traffic may bypass A *)
+  let net = parse diamond in
+  Alcotest.(check bool) "diamond bypasses A" true
+    (violated (check net default (fun enc -> MS.Property.waypoint enc ~sources:[ "S" ] dest_t ~via:"A")))
+
+let test_disjoint_paths () =
+  let net = parse diamond in
+  (* A and B use edge-disjoint paths to T *)
+  Alcotest.(check bool) "disjoint" false
+    (violated (check net default (fun enc -> MS.Property.disjoint_paths enc "A" "B" dest_t)));
+  (* S and A share the edge A->T on some ECMP branch *)
+  Alcotest.(check bool) "shared edge" true
+    (violated (check net default (fun enc -> MS.Property.disjoint_paths enc "S" "A" dest_t)))
+
+let static_loop =
+  {|hostname R1
+interface e0
+ ip address 192.168.12.1/30
+ip route 10.9.0.0/16 192.168.12.2
+!
+hostname R2
+interface e0
+ ip address 192.168.12.2/30
+ip route 10.9.0.0/16 192.168.12.1
+|}
+
+let test_loops () =
+  let net = parse static_loop in
+  Alcotest.(check bool) "static loop found" true
+    (violated (check net default (fun enc -> MS.Property.no_loops enc ())));
+  let net = parse chain3 in
+  Alcotest.(check bool) "chain loop-free" false
+    (violated (check net default (fun enc -> MS.Property.no_loops enc ~candidates:[ "R1"; "R2"; "R3" ] ())))
+
+let test_load_balance () =
+  let net = parse diamond in
+  (* ECMP splits S's unit of traffic evenly over A and B *)
+  Alcotest.(check bool) "balanced within 0" false
+    (violated
+       (check net default (fun enc ->
+            MS.Property.load_balance enc ~sources:[ "S" ] dest_t ~pair:("A", "B")
+              ~threshold:Rat.zero)));
+  (* but S and T loads differ by a full unit *)
+  Alcotest.(check bool) "S vs T unbalanced" true
+    (violated
+       (check net default (fun enc ->
+            MS.Property.load_balance enc ~sources:[ "S" ] dest_t ~pair:("S", "A")
+              ~threshold:(Rat.of_ints 1 4))))
+
+(* a transit router with no export policy re-announces anything *)
+let transit =
+  {|hostname R1
+interface e0
+ ip address 192.168.100.1/30
+interface e1
+ ip address 192.168.200.1/30
+router bgp 100
+ neighbor 192.168.100.2 remote-as 65001
+ neighbor 192.168.200.2 remote-as 65002
+|}
+
+let test_no_leak () =
+  let net = parse transit in
+  Alcotest.(check bool) "transit leaks /32s" true
+    (violated (check net default (fun enc -> MS.Property.no_leak enc ~max_len:24)));
+  (* the enterprise edges only export the aggregated host space *)
+  let t = Generators.Enterprise.make ~seed:3 ~routers:6 ~inject:Generators.Enterprise.no_bugs () in
+  Alcotest.(check bool) "edge aggregates" false
+    (violated
+       (check t.Generators.Enterprise.network default (fun enc -> MS.Property.no_leak enc ~max_len:24)))
+
+let triangle =
+  {|hostname R1
+interface e0
+ ip address 192.168.12.1/30
+interface e1
+ ip address 192.168.13.1/30
+router ospf 1
+ network 0.0.0.0/0
+!
+hostname R2
+interface e0
+ ip address 192.168.12.2/30
+interface e1
+ ip address 192.168.23.1/30
+interface lan
+ ip address 10.2.0.1/24
+router ospf 1
+ network 0.0.0.0/0
+!
+hostname R3
+interface e0
+ ip address 192.168.13.2/30
+interface e1
+ ip address 192.168.23.2/30
+router ospf 1
+ network 0.0.0.0/0
+|}
+
+let dest_r2 = MS.Property.Subnet ("R2", P.of_string "10.2.0.0/24")
+
+let test_fault_tolerance () =
+  let net = parse triangle in
+  (* the triangle survives any single link failure *)
+  Alcotest.(check bool) "1-fault tolerant" false
+    (violated
+       (check net (MS.Options.with_failures 1 default) (fun enc ->
+            MS.Property.reachability enc ~sources:[ "R1" ] dest_r2)));
+  (* two failures can cut R1 off *)
+  (match
+     MS.Verify.verify net (MS.Options.with_failures 2 default) (fun enc ->
+         MS.Property.reachability enc ~sources:[ "R1" ] dest_r2)
+   with
+   | MS.Verify.Violation cx ->
+     Alcotest.(check int) "two links failed" 2 (List.length cx.MS.Counterexample.failures)
+   | MS.Verify.Holds -> Alcotest.fail "expected 2-failure violation");
+  (* the chain already dies with one failure *)
+  let net = parse chain3 in
+  Alcotest.(check bool) "chain not tolerant" true
+    (violated
+       (check net (MS.Options.with_failures 1 default) (fun enc ->
+            MS.Property.reachability enc ~sources:[ "R1" ] dest_r3)))
+
+let test_fault_invariance () =
+  Alcotest.(check bool) "triangle invariant" false
+    (violated
+       (MS.Verify.fault_invariant (parse triangle) default ~k:1 ~sources:[ "R1"; "R3" ] dest_r2));
+  Alcotest.(check bool) "chain varies" true
+    (violated (MS.Verify.fault_invariant (parse chain3) default ~k:1 ~sources:[ "R1" ] dest_r3))
+
+let test_full_equivalence () =
+  let net = parse diamond in
+  Alcotest.(check bool) "self-equivalent" false
+    (violated (MS.Verify.equivalent net net default));
+  (* adding an ACL changes the data plane *)
+  let modified =
+    parse
+      (Str.global_replace (Str.regexp_string "interface lan\n ip address 10.9.0.1/24")
+         "interface lan\n ip address 10.9.0.1/24\n ip access-group D out\naccess-list D deny ip any 10.9.0.0/25\naccess-list D permit ip any any"
+         diamond)
+  in
+  Alcotest.(check bool) "acl breaks equivalence" true
+    (violated (MS.Verify.equivalent net modified default))
+
+(* the naive and optimized encodings must agree on verdicts *)
+let test_naive_agreement () =
+  let scenarios =
+    [
+      (chain3, [ "R1" ], dest_r3, false);
+      (diamond, [ "S" ], dest_t, false);
+    ]
+  in
+  List.iter
+    (fun (cfg, sources, dest, _) ->
+      let net = parse cfg in
+      let opt = check net default (fun enc -> MS.Property.reachability enc ~sources dest) in
+      let naive = check net MS.Options.naive (fun enc -> MS.Property.reachability enc ~sources dest) in
+      Alcotest.(check bool) "same verdict" (violated opt) (violated naive))
+    scenarios;
+  (* and on a violated case *)
+  let t = Generators.Enterprise.make ~seed:9 ~routers:4 ~inject:{ Generators.Enterprise.no_bugs with hijack = true } () in
+  let net = t.Generators.Enterprise.network in
+  let devices = List.map (fun (d : A.device) -> d.A.dev_name) net.A.net_devices in
+  let target = List.hd (List.rev devices) in
+  let dest = MS.Property.Subnet (target, t.Generators.Enterprise.mgmt_prefix target) in
+  let opt = check net default (fun enc -> MS.Property.reachability enc ~sources:devices dest) in
+  let naive = check net MS.Options.naive (fun enc -> MS.Property.reachability enc ~sources:devices dest) in
+  Alcotest.(check bool) "hijack found by both" true (violated opt && violated naive)
+
+(* -- randomized differential test: encoder vs simulator -------------------- *)
+
+(* Random OSPF networks: a random tree plus extra chords, random link
+   costs, one subnet per device, an optional random ACL.  With no BGP,
+   no environment and no failures, the symbolic verdict for
+   subnet-to-subnet reachability must coincide with the concrete
+   simulator. *)
+let random_net_gen =
+  let open QCheck.Gen in
+  int_range 0 99999 >>= fun seed -> return seed
+
+let build_random_net seed =
+  let rng = Random.State.make [| seed |] in
+  let n = 3 + Random.State.int rng 3 in
+  let b = Buffer.create 1024 in
+  let link_id = ref 0 in
+  let iface_count = Array.make n 0 in
+  let links = ref [] in
+  let add_link i j =
+    let id = !link_id in
+    incr link_id;
+    links := (i, j, id) :: !links
+  in
+  for i = 1 to n - 1 do
+    add_link (Random.State.int rng i) i
+  done;
+  if n > 3 && Random.State.bool rng then begin
+    let i = Random.State.int rng n and j = Random.State.int rng n in
+    if i <> j && not (List.exists (fun (a, b, _) -> (a = i && b = j) || (a = j && b = i)) !links)
+    then add_link (min i j) (max i j)
+  end;
+  let acl_router = if Random.State.int rng 3 = 0 then Some (Random.State.int rng n) else None in
+  for i = 0 to n - 1 do
+    Buffer.add_string b (Printf.sprintf "hostname R%d\n" i);
+    List.iter
+      (fun (a, b', id) ->
+        if a = i || b' = i then begin
+          let side = if a = i then 1 else 2 in
+          Buffer.add_string b
+            (Printf.sprintf "interface e%d\n ip address 172.31.%d.%d/30\n ip ospf cost %d\n"
+               iface_count.(i) id side
+               (1 + ((id + i) mod 3)))
+        end;
+        if a = i || b' = i then iface_count.(i) <- iface_count.(i) + 1)
+      !links;
+    (* host subnet, possibly behind an ACL *)
+    let acl = acl_router = Some i in
+    Buffer.add_string b (Printf.sprintf "interface lan\n ip address 10.50.%d.1/24\n" i);
+    if acl then begin
+      Buffer.add_string b " ip access-group G out\n";
+      Buffer.add_string b "access-list G deny ip any 10.50.0.0/16\naccess-list G permit ip any any\n"
+    end;
+    Buffer.add_string b "router ospf 1\n network 0.0.0.0/0\n!\n"
+  done;
+  (parse (Buffer.contents b), n)
+
+let prop_differential =
+  QCheck.Test.make ~name:"encoder matches simulator on random OSPF nets" ~count:25
+    (QCheck.make random_net_gen) (fun seed ->
+      let net, n = build_random_net seed in
+      let state = Routing.Simulator.run net Routing.Simulator.empty_env in
+      let src = "R0" in
+      let ok = ref true in
+      for dst = 1 to min 2 (n - 1) do
+        let subnet = P.make (Ip.of_octets 10 50 dst 0) 24 in
+        let concrete =
+          Routing.Dataplane.reachable net state ~src ~dst:(Ip.of_octets 10 50 dst 77)
+        in
+        let enc = MS.Encode.build net default in
+        let prop =
+          MS.Property.reachability enc ~sources:[ src ]
+            (MS.Property.Subnet (Printf.sprintf "R%d" dst, subnet))
+        in
+        let symbolic = not (violated (MS.Verify.check enc prop)) in
+        if concrete <> symbolic then begin
+          QCheck.Test.fail_reportf "seed %d dst R%d: simulator=%b encoder=%b" seed dst concrete
+            symbolic
+        end
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "paths",
+        [
+          Alcotest.test_case "waypoint" `Quick test_waypoint;
+          Alcotest.test_case "disjoint" `Quick test_disjoint_paths;
+          Alcotest.test_case "loops" `Quick test_loops;
+        ] );
+      ( "quantitative",
+        [
+          Alcotest.test_case "load balance" `Quick test_load_balance;
+          Alcotest.test_case "no leak" `Quick test_no_leak;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "fault tolerance" `Quick test_fault_tolerance;
+          Alcotest.test_case "fault invariance" `Quick test_fault_invariance;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "full equivalence" `Quick test_full_equivalence;
+          Alcotest.test_case "naive agreement" `Quick test_naive_agreement;
+        ] );
+      ("differential", [ QCheck_alcotest.to_alcotest prop_differential ]);
+    ]

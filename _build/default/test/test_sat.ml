@@ -1,0 +1,166 @@
+(* Tests for the CDCL SAT core, including a differential qcheck test
+   against a brute-force enumerator on random small CNFs. *)
+
+module S = Smt.Sat
+
+let result = Alcotest.testable (fun fmt r -> Format.pp_print_string fmt (match r with S.Sat -> "sat" | S.Unsat -> "unsat")) ( = )
+
+let fresh_vars s n = Array.init n (fun _ -> S.new_var s)
+
+let test_trivial_sat () =
+  let s = S.create () in
+  let v = fresh_vars s 2 in
+  S.add_clause s [ S.pos_lit v.(0); S.pos_lit v.(1) ];
+  S.add_clause s [ S.neg_lit v.(0) ];
+  Alcotest.check result "sat" S.Sat (S.solve s);
+  Alcotest.(check bool) "v0 false" false (S.value_var s v.(0));
+  Alcotest.(check bool) "v1 true" true (S.value_var s v.(1))
+
+let test_trivial_unsat () =
+  let s = S.create () in
+  let v = fresh_vars s 1 in
+  S.add_clause s [ S.pos_lit v.(0) ];
+  S.add_clause s [ S.neg_lit v.(0) ];
+  Alcotest.check result "unsat" S.Unsat (S.solve s)
+
+let test_empty_clause () =
+  let s = S.create () in
+  let _ = fresh_vars s 1 in
+  S.add_clause s [];
+  Alcotest.check result "unsat" S.Unsat (S.solve s)
+
+let test_no_clauses () =
+  let s = S.create () in
+  let _ = fresh_vars s 3 in
+  Alcotest.check result "sat" S.Sat (S.solve s)
+
+(* Pigeonhole: n+1 pigeons in n holes is unsatisfiable and needs real
+   conflict-driven search, exercising learning and backjumping. *)
+let pigeonhole n =
+  let s = S.create () in
+  let var = Array.init (n + 1) (fun _ -> Array.init n (fun _ -> S.new_var s)) in
+  for p = 0 to n do
+    S.add_clause s (List.init n (fun h -> S.pos_lit var.(p).(h)))
+  done;
+  for h = 0 to n - 1 do
+    for p1 = 0 to n do
+      for p2 = p1 + 1 to n do
+        S.add_clause s [ S.neg_lit var.(p1).(h); S.neg_lit var.(p2).(h) ]
+      done
+    done
+  done;
+  s
+
+let test_pigeonhole () =
+  for n = 2 to 6 do
+    Alcotest.check result (Printf.sprintf "php %d" n) S.Unsat (S.solve (pigeonhole n))
+  done
+
+(* Graph-coloring style satisfiable instance with many propagations. *)
+let test_chain_implications () =
+  let s = S.create () in
+  let n = 200 in
+  let v = fresh_vars s n in
+  for i = 0 to n - 2 do
+    S.add_clause s [ S.neg_lit v.(i); S.pos_lit v.(i + 1) ]
+  done;
+  S.add_clause s [ S.pos_lit v.(0) ];
+  Alcotest.check result "sat" S.Sat (S.solve s);
+  for i = 0 to n - 1 do
+    if not (S.value_var s v.(i)) then Alcotest.failf "var %d should be true" i
+  done
+
+let test_final_check_veto () =
+  (* A final_check that rejects every assignment where v0 = v1 forces the
+     solver to find a model with v0 <> v1. *)
+  let s = S.create () in
+  let v = fresh_vars s 2 in
+  S.add_clause s [ S.pos_lit v.(0); S.pos_lit v.(1) ];
+  let final_check s =
+    if S.value_var s v.(0) = S.value_var s v.(1) then begin
+      let lit_of i = if S.value_var s v.(i) then S.neg_lit v.(i) else S.pos_lit v.(i) in
+      [ [ lit_of 0; lit_of 1 ] ]
+    end
+    else []
+  in
+  Alcotest.check result "sat" S.Sat (S.solve ~final_check s);
+  Alcotest.(check bool) "differ" true (S.value_var s v.(0) <> S.value_var s v.(1))
+
+let test_final_check_unsat () =
+  (* Vetoing everything makes the instance unsatisfiable. *)
+  let s = S.create () in
+  let v = fresh_vars s 3 in
+  let final_check s =
+    let lit_of i = if S.value_var s v.(i) then S.neg_lit v.(i) else S.pos_lit v.(i) in
+    [ [ lit_of 0; lit_of 1; lit_of 2 ] ]
+  in
+  Alcotest.check result "unsat" S.Unsat (S.solve ~final_check s)
+
+(* --- differential testing against brute force ----------------------------- *)
+
+let brute_force nvars clauses =
+  let rec go assignment i =
+    if i = nvars then
+      List.for_all
+        (fun clause ->
+          List.exists
+            (fun l ->
+              let v = l / 2 and neg = l land 1 = 1 in
+              if neg then not assignment.(v) else assignment.(v))
+            clause)
+        clauses
+    else begin
+      assignment.(i) <- false;
+      go assignment (i + 1)
+      ||
+      (assignment.(i) <- true;
+       go assignment (i + 1))
+    end
+  in
+  go (Array.make nvars false) 0
+
+let cnf_gen =
+  let open QCheck.Gen in
+  let nvars = 8 in
+  let lit = map2 (fun v neg -> (2 * v) + if neg then 1 else 0) (int_range 0 (nvars - 1)) bool in
+  let clause = list_size (int_range 1 3) lit in
+  let cnf = list_size (int_range 1 40) clause in
+  map (fun clauses -> (nvars, clauses)) cnf
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~name:"cdcl matches brute force" ~count:500
+    (QCheck.make cnf_gen)
+    (fun (nvars, clauses) ->
+      let s = S.create () in
+      let v = fresh_vars s nvars in
+      List.iter (fun c -> S.add_clause s (List.map (fun l -> if l land 1 = 1 then S.neg_lit v.(l / 2) else S.pos_lit v.(l / 2)) c)) clauses;
+      let got = S.solve s = S.Sat in
+      let expected = brute_force nvars clauses in
+      if got <> expected then QCheck.Test.fail_reportf "solver=%b brute=%b" got expected;
+      (* When satisfiable, the produced model must satisfy every clause. *)
+      (not got)
+      || List.for_all
+           (fun c ->
+             List.exists
+               (fun l ->
+                 let value = S.value_var s v.(l / 2) in
+                 if l land 1 = 1 then not value else value)
+               c)
+           clauses)
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+          Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "no clauses" `Quick test_no_clauses;
+          Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+          Alcotest.test_case "implication chain" `Quick test_chain_implications;
+          Alcotest.test_case "final_check veto" `Quick test_final_check_veto;
+          Alcotest.test_case "final_check unsat" `Quick test_final_check_unsat;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_matches_brute_force ]);
+    ]

@@ -1,0 +1,353 @@
+(* End-to-end tests for the SMT solver: terms, theories, bit vectors,
+   cardinality, plus qcheck properties validating models against the
+   reference evaluator and a brute-force difference-logic oracle. *)
+
+module T = Smt.Term
+module Sort = Smt.Sort
+module Solver = Smt.Solver
+module Model = Smt.Model
+module Rat = Exactnum.Rat
+
+let is_sat term = match Solver.check_term term with Solver.Sat _ -> true | Solver.Unsat -> false
+
+let model_exn term =
+  match Solver.check_term term with
+  | Solver.Sat m -> m
+  | Solver.Unsat -> Alcotest.fail "expected sat"
+
+let check_sat msg term = Alcotest.(check bool) msg true (is_sat term)
+let check_unsat msg term = Alcotest.(check bool) msg false (is_sat term)
+
+(* -- term layer -------------------------------------------------------------- *)
+
+let test_term_simplify () =
+  let a = T.var "ts_a" Sort.Bool and b = T.var "ts_b" Sort.Bool in
+  Alcotest.(check bool) "and true" true (T.equal (T.and_ [ a; T.tru ]) a);
+  Alcotest.(check bool) "and false" true (T.equal (T.and_ [ a; T.fls ]) T.fls);
+  Alcotest.(check bool) "or true" true (T.equal (T.or_ [ a; T.tru ]) T.tru);
+  Alcotest.(check bool) "complement" true (T.equal (T.and_ [ a; T.not_ a ]) T.fls);
+  Alcotest.(check bool) "dedupe" true (T.equal (T.and_ [ a; a ]) a);
+  Alcotest.(check bool) "flatten" true
+    (T.equal (T.and_ [ a; T.and_ [ b; a ] ]) (T.and_ [ a; b ]));
+  Alcotest.(check bool) "not not" true (T.equal (T.not_ (T.not_ a)) a);
+  Alcotest.(check bool) "hash-consing" true (T.and_ [ a; b ] == T.and_ [ a; b ]);
+  Alcotest.(check bool) "const folding leq" true (T.equal (T.leq (T.int_const 1) (T.int_const 2)) T.tru);
+  Alcotest.(check bool) "const folding lt" true (T.equal (T.lt (T.int_const 2) (T.int_const 2)) T.fls)
+
+let test_term_sort_errors () =
+  let x = T.var "ts_x" Sort.Int in
+  Alcotest.check_raises "bool op on int" (Invalid_argument "Term.not_: expected sort Bool, got Int")
+    (fun () -> ignore (T.not_ x));
+  (try
+     ignore (T.var "ts_x" Sort.Bool);
+     Alcotest.fail "expected sort clash"
+   with Invalid_argument _ -> ())
+
+(* -- propositional ------------------------------------------------------------ *)
+
+let test_prop_basic () =
+  let a = T.var "pb_a" Sort.Bool and b = T.var "pb_b" Sort.Bool in
+  check_sat "a and not b" (T.and_ [ a; T.not_ b ]);
+  check_unsat "a and not a" (T.and_ [ a; T.or_ [ T.not_ a ] ]);
+  let m = model_exn (T.and_ [ T.or_ [ a; b ]; T.not_ a ]) in
+  Alcotest.(check bool) "model b" true (Model.bool_value m b);
+  Alcotest.(check bool) "model a" false (Model.bool_value m a)
+
+(* -- integer difference logic -------------------------------------------------- *)
+
+let ivar name = T.var name Sort.Int
+
+let test_idl_sat () =
+  let x = ivar "idl_x" and y = ivar "idl_y" in
+  let f = T.and_ [ T.leq (T.sub x y) (T.int_const 3); T.leq (T.int_const 1) (T.sub x y) ] in
+  let m = model_exn f in
+  let dx = Model.int_value m x - Model.int_value m y in
+  Alcotest.(check bool) "1 <= x-y <= 3" true (dx >= 1 && dx <= 3)
+
+let test_idl_unsat_cycle () =
+  let x = ivar "ic_x" and y = ivar "ic_y" and z = ivar "ic_z" in
+  check_unsat "negative cycle"
+    (T.and_
+       [
+         T.leq (T.sub x y) (T.int_const 3);
+         T.leq (T.sub y z) (T.int_const (-2));
+         T.leq (T.sub z x) (T.int_const (-2));
+       ])
+
+let test_idl_strict () =
+  let x = ivar "is_x" and y = ivar "is_y" in
+  check_unsat "x < y < x" (T.and_ [ T.lt x y; T.lt y x ]);
+  check_unsat "x < y <= x" (T.and_ [ T.lt x y; T.leq y x ]);
+  (* x < y and y < x + 2 forces y = x + 1 over integers *)
+  let m = model_exn (T.and_ [ T.lt x y; T.lt y (T.add x (T.int_const 2)) ]) in
+  Alcotest.(check int) "y = x+1" (Model.int_value m x + 1) (Model.int_value m y)
+
+let test_idl_bounds_and_disjunction () =
+  let x = ivar "ib_x" in
+  let eq_const t n = T.eq t (T.int_const n) in
+  let f =
+    T.and_
+      [
+        T.leq x (T.int_const 5);
+        T.geq x (T.int_const 3);
+        T.or_ [ eq_const x 4; eq_const x 7 ];
+      ]
+  in
+  let m = model_exn f in
+  Alcotest.(check int) "x = 4" 4 (Model.int_value m x);
+  check_unsat "empty interval"
+    (T.and_ [ T.leq x (T.int_const 2); T.geq x (T.int_const 3) ])
+
+let test_idl_equality_chain () =
+  let vars = List.init 10 (fun i -> ivar (Printf.sprintf "chain_%d" i)) in
+  let rec pairs = function a :: (b :: _ as rest) -> (a, b) :: pairs rest | _ -> [] in
+  let eqs = List.map (fun (a, b) -> T.eq a b) (pairs vars) in
+  let first = List.hd vars and last = List.nth vars 9 in
+  check_unsat "equal chain with gap"
+    (T.and_ (T.lt first last :: eqs));
+  check_sat "equal chain consistent" (T.and_ (T.eq first last :: eqs))
+
+(* -- linear rational arithmetic -------------------------------------------------- *)
+
+let rvar name = T.var name Sort.Real
+
+let test_lra_basic () =
+  let a = rvar "lra_a" and b = rvar "lra_b" in
+  let sum = T.add a b in
+  let f =
+    T.and_
+      [
+        T.leq sum (T.rat_const Rat.one);
+        T.geq a (T.rat_const (Rat.of_ints 2 5));
+        T.eq a b;
+      ]
+  in
+  let m = model_exn f in
+  let va = Model.rat_value m a and vb = Model.rat_value m b in
+  Alcotest.(check bool) "a = b" true (Rat.equal va vb);
+  Alcotest.(check bool) "sum <= 1" true (Rat.leq (Rat.add va vb) Rat.one);
+  Alcotest.(check bool) "a >= 2/5" true (Rat.geq va (Rat.of_ints 2 5))
+
+let test_lra_unsat () =
+  let a = rvar "lu_a" and b = rvar "lu_b" in
+  check_unsat "0.6 + 0.6 > 1"
+    (T.and_
+       [
+         T.leq (T.add a b) (T.rat_const Rat.one);
+         T.geq a (T.rat_const (Rat.of_ints 3 5));
+         T.geq b (T.rat_const (Rat.of_ints 3 5));
+       ])
+
+let test_lra_strict () =
+  let a = rvar "ls_a" and b = rvar "ls_b" in
+  check_unsat "a < b < a" (T.and_ [ T.lt a b; T.lt b a ]);
+  (* strict bounds have rational witnesses: a < b, b < 1, a > 0 *)
+  let m =
+    model_exn
+      (T.and_ [ T.lt a b; T.lt b (T.rat_const Rat.one); T.lt (T.rat_const Rat.zero) a ])
+  in
+  let va = Model.rat_value m a and vb = Model.rat_value m b in
+  Alcotest.(check bool) "0 < a < b < 1" true
+    (Rat.lt Rat.zero va && Rat.lt va vb && Rat.lt vb Rat.one)
+
+let test_lra_scale () =
+  let a = rvar "lsc_a" in
+  (* 3a <= 2 and a >= 1/2 gives 1/2 <= a <= 2/3 *)
+  let m =
+    model_exn
+      (T.and_
+         [
+           T.leq (T.scale (Rat.of_int 3) a) (T.rat_const (Rat.of_int 2));
+           T.geq a (T.rat_const (Rat.of_ints 1 2));
+         ])
+  in
+  let va = Model.rat_value m a in
+  Alcotest.(check bool) "in range" true
+    (Rat.geq va (Rat.of_ints 1 2) && Rat.leq va (Rat.of_ints 2 3))
+
+(* -- bit vectors ------------------------------------------------------------------ *)
+
+let test_bv_basic () =
+  let x = T.bv_var "bv_x" ~width:8 in
+  let m = model_exn (T.bv_eq x (T.bv_const ~width:8 0xAB)) in
+  Alcotest.(check int) "x = 0xAB" 0xAB (Model.bv_value m x);
+  check_unsat "conflicting eq"
+    (T.and_ [ T.bv_eq x (T.bv_const ~width:8 1); T.bv_eq x (T.bv_const ~width:8 2) ])
+
+let test_bv_and_mask () =
+  let x = T.bv_var "bvm_x" ~width:8 in
+  let masked = T.bv_and x (T.bv_const ~width:8 0xF0) in
+  let f =
+    T.and_
+      [ T.bv_eq masked (T.bv_const ~width:8 0xA0); T.bv_ule x (T.bv_const ~width:8 0xA3) ]
+  in
+  let m = model_exn f in
+  let v = Model.bv_value m x in
+  Alcotest.(check int) "high nibble" 0xA0 (v land 0xF0);
+  Alcotest.(check bool) "<= 0xA3" true (v <= 0xA3)
+
+let test_bv_ule () =
+  let x = T.bv_var "bvu_x" ~width:4 in
+  check_unsat "x <= 3 and x >= 12"
+    (T.and_
+       [
+         T.bv_ule x (T.bv_const ~width:4 3);
+         T.bv_ule (T.bv_const ~width:4 12) x;
+       ]);
+  let m =
+    model_exn
+      (T.and_
+         [ T.bv_ule (T.bv_const ~width:4 5) x; T.bv_ule x (T.bv_const ~width:4 6) ])
+  in
+  let v = Model.bv_value m x in
+  Alcotest.(check bool) "5 <= x <= 6" true (v >= 5 && v <= 6)
+
+(* -- cardinality -------------------------------------------------------------------- *)
+
+let test_at_most () =
+  let vars = List.init 5 (fun i -> T.var (Printf.sprintf "am_%d" i) Sort.Bool) in
+  let m = model_exn (T.and_ [ T.at_most 2 vars; T.at_least 2 vars ]) in
+  let count = List.length (List.filter (Model.bool_value m) vars) in
+  Alcotest.(check int) "exactly 2" 2 count;
+  check_unsat "at most 1 with 2 forced"
+    (T.and_ [ T.at_most 1 vars; List.nth vars 0; List.nth vars 3 ]);
+  check_sat "at most 0" (T.at_most 0 vars);
+  check_unsat "at least 6 of 5" (T.at_least 6 vars)
+
+let test_exactly () =
+  let vars = List.init 6 (fun i -> T.var (Printf.sprintf "ex_%d" i) Sort.Bool) in
+  let m = model_exn (T.exactly 3 vars) in
+  let count = List.length (List.filter (Model.bool_value m) vars) in
+  Alcotest.(check int) "exactly 3" 3 count
+
+(* -- mixed theories ------------------------------------------------------------------ *)
+
+let test_mixed () =
+  let x = ivar "mx_x" and r = rvar "mx_r" and b = T.var "mx_b" Sort.Bool in
+  let f =
+    T.and_
+      [
+        T.implies b (T.leq x (T.int_const 3));
+        T.implies (T.not_ b) (T.geq r (T.rat_const (Rat.of_int 10)));
+        T.geq x (T.int_const 5);
+      ]
+  in
+  let m = model_exn f in
+  Alcotest.(check bool) "b forced false" false (Model.bool_value m b);
+  Alcotest.(check bool) "r >= 10" true (Rat.geq (Model.rat_value m r) (Rat.of_int 10))
+
+(* -- qcheck properties ----------------------------------------------------------------- *)
+
+(* Random difference-logic systems over a small domain, checked against
+   brute force. *)
+let idl_system_gen =
+  let open QCheck.Gen in
+  let nv = 4 in
+  let constr = triple (int_range 0 (nv - 1)) (int_range 0 (nv - 1)) (int_range (-3) 3) in
+  list_size (int_range 1 10) constr >>= fun cs -> return (nv, cs)
+
+let brute_force_idl nv cs =
+  (* all assignments in [0,7)^nv; difference constraints are
+     translation-invariant so a window of size 7 >= sum of |k| bounds the
+     search for 4 variables with |k| <= 3. *)
+  let rec go assignment i =
+    if i = nv then
+      List.for_all (fun (x, y, k) -> assignment.(x) - assignment.(y) <= k) cs
+    else begin
+      let found = ref false in
+      let v = ref 0 in
+      while (not !found) && !v < 13 do
+        assignment.(i) <- !v;
+        if go assignment (i + 1) then found := true;
+        incr v
+      done;
+      !found
+    end
+  in
+  go (Array.make nv 0) 0
+
+let prop_idl_matches_brute =
+  QCheck.Test.make ~name:"idl solver matches brute force" ~count:300 (QCheck.make idl_system_gen)
+    (fun (nv, cs) ->
+      let vars = Array.init nv (fun i -> ivar (Printf.sprintf "qidl_%d_%d" (Hashtbl.hash cs) i)) in
+      let f =
+        T.and_
+          (List.map (fun (x, y, k) -> T.leq (T.sub vars.(x) vars.(y)) (T.int_const k)) cs)
+      in
+      let got = is_sat f in
+      let expected = brute_force_idl nv cs in
+      if got <> expected then QCheck.Test.fail_reportf "solver=%b brute=%b" got expected;
+      true)
+
+(* Random Boolean formulas: any model returned must evaluate to true. *)
+let term_gen =
+  let open QCheck.Gen in
+  let leaf i = T.var (Printf.sprintf "qb_%d" (i mod 6)) Sort.Bool in
+  fix
+    (fun self depth ->
+      if depth = 0 then map leaf (int_range 0 5)
+      else begin
+        frequency
+          [
+            (2, map leaf (int_range 0 5));
+            (2, map2 (fun a b -> T.and_ [ a; b ]) (self (depth - 1)) (self (depth - 1)));
+            (2, map2 (fun a b -> T.or_ [ a; b ]) (self (depth - 1)) (self (depth - 1)));
+            (1, map T.not_ (self (depth - 1)));
+            (1, map2 T.implies (self (depth - 1)) (self (depth - 1)));
+            (1, map2 T.iff (self (depth - 1)) (self (depth - 1)));
+          ]
+      end)
+    4
+
+let prop_model_evaluates_true =
+  QCheck.Test.make ~name:"sat models evaluate to true" ~count:300 (QCheck.make term_gen)
+    (fun term ->
+      match Solver.check_term term with
+      | Solver.Unsat -> true
+      | Solver.Sat m -> Model.eval_bool m term)
+
+(* Formulas and their negations cannot both be unsat (completeness smoke). *)
+let prop_excluded_middle =
+  QCheck.Test.make ~name:"f or not f is sat" ~count:200 (QCheck.make term_gen)
+    (fun term -> is_sat (T.or_ [ term; T.not_ term ]))
+
+let () =
+  Alcotest.run "smt"
+    [
+      ( "term",
+        [
+          Alcotest.test_case "simplify" `Quick test_term_simplify;
+          Alcotest.test_case "sort errors" `Quick test_term_sort_errors;
+        ] );
+      ("prop", [ Alcotest.test_case "basic" `Quick test_prop_basic ]);
+      ( "idl",
+        [
+          Alcotest.test_case "sat" `Quick test_idl_sat;
+          Alcotest.test_case "unsat cycle" `Quick test_idl_unsat_cycle;
+          Alcotest.test_case "strict" `Quick test_idl_strict;
+          Alcotest.test_case "bounds + disjunction" `Quick test_idl_bounds_and_disjunction;
+          Alcotest.test_case "equality chain" `Quick test_idl_equality_chain;
+        ] );
+      ( "lra",
+        [
+          Alcotest.test_case "basic" `Quick test_lra_basic;
+          Alcotest.test_case "unsat" `Quick test_lra_unsat;
+          Alcotest.test_case "strict" `Quick test_lra_strict;
+          Alcotest.test_case "scale" `Quick test_lra_scale;
+        ] );
+      ( "bv",
+        [
+          Alcotest.test_case "basic" `Quick test_bv_basic;
+          Alcotest.test_case "and mask" `Quick test_bv_and_mask;
+          Alcotest.test_case "ule" `Quick test_bv_ule;
+        ] );
+      ( "cardinality",
+        [
+          Alcotest.test_case "at_most" `Quick test_at_most;
+          Alcotest.test_case "exactly" `Quick test_exactly;
+        ] );
+      ("mixed", [ Alcotest.test_case "bool+idl+lra" `Quick test_mixed ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_idl_matches_brute; prop_model_evaluates_true; prop_excluded_middle ] );
+    ]
