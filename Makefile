@@ -1,0 +1,23 @@
+# Convenience targets; `make check` is the full local gate: build,
+# test suite, and a lint pass over every example configuration.
+
+.PHONY: all build test lint check clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+lint: build
+	@for f in examples/configs/*.cfg; do \
+	  echo "lint $$f"; \
+	  dune exec bin/minesweeper_cli.exe -- lint $$f || exit 1; \
+	done
+
+check: build test lint
+
+clean:
+	dune clean

@@ -22,8 +22,8 @@ let read_file path =
 
 let load_network path =
   try Config.Parser.parse_network (read_file path) with
-  | Config.Parser.Parse_error { line; message } ->
-    Printf.eprintf "%s:%d: %s\n" path line message;
+  | Config.Parser.Parse_error e ->
+    Printf.eprintf "%s\n" (Config.Parser.error_to_string ~file:path e);
     exit 2
 
 (* ---- common args ---- *)
@@ -31,8 +31,9 @@ let load_network path =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG" ~doc:"Configuration file.")
 
-let opts_of naive failures =
+let opts_of ?(slice = false) naive failures =
   let base = if naive then MS.Options.naive else MS.Options.default in
+  let base = if slice then MS.Options.with_slicing base else base in
   match failures with None -> base | Some k -> MS.Options.with_failures k base
 
 (* ---- verify ---- *)
@@ -74,13 +75,27 @@ let verify_cmd =
     Arg.(value & opt (some int) None & info [ "failures"; "k" ] ~doc:"Verify under up to $(docv) link failures.")
   in
   let naive = Arg.(value & flag & info [ "naive" ] ~doc:"Disable the optimizations of \xc2\xa76.") in
+  let slice =
+    Arg.(value & flag & info [ "slice" ] ~doc:"Delete provably-dead policy clauses before encoding.")
+  in
+  let no_lint =
+    Arg.(value & flag & info [ "no-lint" ] ~doc:"Skip the pre-flight lint of the configuration.")
+  in
   let allowed =
     Arg.(value & opt (list string) [] & info [ "allowed" ] ~doc:"Devices allowed to drop (blackholes).")
   in
-  let run file property sources dst_device dst_prefix bound devices max_len failures naive allowed =
+  let run file property sources dst_device dst_prefix bound devices max_len failures naive slice
+        no_lint allowed =
     let net = load_network file in
-    let opts = opts_of naive failures in
-    let enc = MS.Encode.build net opts in
+    let opts = opts_of ~slice naive failures in
+    let opts = if no_lint then { opts with MS.Options.preflight_lint = false } else opts in
+    let enc =
+      try MS.Encode.build net opts with
+      | Analysis.Lint.Lint_errors errs ->
+        prerr_endline "configuration has lint errors; not encoding:";
+        prerr_string (Analysis.Diagnostic.render_text errs);
+        exit 2
+    in
     let all_devices = MS.Encode.devices enc in
     let sources = if sources = [] then all_devices else sources in
     let dest () =
@@ -126,7 +141,32 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Verify a property of a configuration.")
     Term.(
       const run $ file_arg $ property $ sources $ dst_device $ dst_prefix $ bound $ devices
-      $ max_len $ failures $ naive $ allowed)
+      $ max_len $ failures $ naive $ slice $ no_lint $ allowed)
+
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format"; "f" ] ~doc:"Output format: text or json.")
+  in
+  let run file format =
+    let net = load_network file in
+    let diags = Analysis.Lint.run net in
+    (match format with
+     | `Text -> print_string (Analysis.Diagnostic.render_text diags)
+     | `Json -> print_string (Analysis.Diagnostic.render_json diags));
+    exit (Analysis.Lint.exit_code diags)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze a configuration: undefined/unused references, dead and shadowed \
+          policy clauses, cross-device inconsistencies. Exit status is 0 when clean, 1 with \
+          warnings, 2 with errors.")
+    Term.(const run $ file_arg $ format)
 
 (* ---- simulate ---- *)
 
@@ -206,4 +246,7 @@ let parse_cmd =
 
 let () =
   let doc = "Network configuration verification (Minesweeper reproduction)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "minesweeper" ~doc) [ verify_cmd; simulate_cmd; gen_cmd; parse_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "minesweeper" ~doc)
+          [ verify_cmd; lint_cmd; simulate_cmd; gen_cmd; parse_cmd ]))

@@ -1,0 +1,223 @@
+(** Cross-device consistency checks over the whole network: BGP
+    sessions must be two-sided with agreeing AS numbers, router-ids
+    unique, iBGP groups fully meshed or covered by route reflectors,
+    and OSPF network statements must enable at least one interface.
+
+    Codes:
+    - MS-E301: remote-as disagrees with the peer's configured ASN
+    - MS-E302: neighbor address belongs to a device that runs no BGP
+    - MS-E303: two interfaces on one device share a subnet
+    - MS-E304: neighbor address is one of the device's own interfaces
+    - MS-W301: one-sided session (peer has no matching neighbor statement)
+    - MS-W302: duplicate BGP router-id
+    - MS-W303: iBGP group neither fully meshed nor covered by a route reflector
+    - MS-W304: OSPF network statement matches no interface
+    - MS-W305: neighbor address not on any connected subnet *)
+
+module A = Config.Ast
+module D = Diagnostic
+module P = Net.Prefix
+module Ip = Net.Ipv4
+
+let interface_ips (dev : A.device) =
+  List.filter_map (fun (i : A.interface) -> i.A.if_ip) dev.A.dev_interfaces
+
+let owns_ip (dev : A.device) ip = List.exists (Ip.equal ip) (interface_ips dev)
+
+(* Does [dev] have a neighbor statement pointing at one of [peer]'s
+   interface addresses? *)
+let has_session_to (dev : A.device) (peer : A.device) =
+  match dev.A.dev_bgp with
+  | None -> false
+  | Some bgp ->
+    List.exists (fun (n : A.bgp_neighbor) -> owns_ip peer n.A.nbr_ip) bgp.A.bgp_neighbors
+
+let check_neighbors (net : A.network) (dev : A.device) =
+  match dev.A.dev_bgp with
+  | None -> []
+  | Some bgp ->
+    List.concat_map
+      (fun (n : A.bgp_neighbor) ->
+        let d = dev.A.dev_name in
+        let ip = Ip.to_string n.A.nbr_ip in
+        let obj = Printf.sprintf "neighbor %s" ip in
+        if owns_ip dev n.A.nbr_ip then
+          [
+            D.make ~code:"MS-E304" ~severity:D.Error ~device:d ~obj
+              "neighbor address %s is one of this device's own interfaces" ip;
+          ]
+        else
+          let on_subnet =
+            List.exists (fun p -> P.contains p n.A.nbr_ip) (A.connected_prefixes dev)
+          in
+          let subnet_diag =
+            if on_subnet then []
+            else
+              [
+                D.make ~code:"MS-W305" ~severity:D.Warning ~device:d ~obj
+                  "neighbor address %s is not on any connected subnet of this device" ip;
+              ]
+          in
+          match A.device_of_ip net n.A.nbr_ip with
+          | None -> subnet_diag (* an external peer: symbolic environment *)
+          | Some peer ->
+            (match peer.A.dev_bgp with
+             | None ->
+               subnet_diag
+               @ [
+                   D.make ~code:"MS-E302" ~severity:D.Error ~device:d ~obj
+                     "neighbor %s belongs to %s, which runs no BGP" ip peer.A.dev_name;
+                 ]
+             | Some peer_bgp ->
+               let as_diag =
+                 if n.A.nbr_remote_as <> peer_bgp.A.bgp_asn then
+                   [
+                     D.make ~code:"MS-E301" ~severity:D.Error ~device:d ~obj
+                       "remote-as %d, but %s is configured as AS %d" n.A.nbr_remote_as
+                       peer.A.dev_name peer_bgp.A.bgp_asn;
+                   ]
+                 else []
+               in
+               let reciprocal_diag =
+                 if has_session_to peer dev then []
+                 else
+                   [
+                     D.make ~code:"MS-W301" ~severity:D.Warning ~device:d ~obj
+                       "one-sided session: %s has no neighbor statement back to this device"
+                       peer.A.dev_name;
+                   ]
+               in
+               subnet_diag @ as_diag @ reciprocal_diag))
+      bgp.A.bgp_neighbors
+
+let check_router_ids (net : A.network) =
+  let ids =
+    List.filter_map
+      (fun (d : A.device) ->
+        match d.A.dev_bgp with
+        | Some { A.bgp_router_id = Some rid; _ } -> Some (rid, d.A.dev_name)
+        | Some _ | None -> None)
+      net.A.net_devices
+  in
+  let groups =
+    List.sort_uniq Ip.compare (List.map fst ids)
+    |> List.map (fun rid -> (rid, List.filter_map (fun (r, d) -> if Ip.equal r rid then Some d else None) ids))
+  in
+  List.filter_map
+    (fun (rid, devs) ->
+      if List.length devs < 2 then None
+      else
+        Some
+          (D.make ~code:"MS-W302" ~severity:D.Warning
+             ~obj:(Printf.sprintf "router-id %s" (Ip.to_string rid))
+             "router-id %s is configured on several devices: %s" (Ip.to_string rid)
+             (String.concat ", " devs)))
+    groups
+
+(* iBGP groups: devices sharing an ASN must be fully meshed, or every
+   non-reflector must be a client of a route reflector (and reflectors
+   meshed among themselves). *)
+let check_ibgp_mesh (net : A.network) =
+  let bgp_devs =
+    List.filter_map
+      (fun (d : A.device) -> Option.map (fun b -> (d, b)) d.A.dev_bgp)
+      net.A.net_devices
+  in
+  let asns = List.sort_uniq compare (List.map (fun (_, b) -> b.A.bgp_asn) bgp_devs) in
+  List.filter_map
+    (fun asn ->
+      let group = List.filter (fun (_, b) -> b.A.bgp_asn = asn) bgp_devs in
+      if List.length group < 2 then None
+      else begin
+        let connected (a, _) (b, _) = has_session_to a b && has_session_to b a in
+        let is_rr (d, b) =
+          List.exists
+            (fun (n : A.bgp_neighbor) ->
+              n.A.nbr_rr_client
+              && List.exists (fun (d2, _) -> d2.A.dev_name <> d.A.dev_name && owns_ip d2 n.A.nbr_ip) group)
+            b.A.bgp_neighbors
+        in
+        let rrs = List.filter is_rr group in
+        let ok =
+          if rrs = [] then
+            (* full mesh required *)
+            List.for_all
+              (fun a ->
+                List.for_all
+                  (fun b -> fst a == fst b || connected a b)
+                  group)
+              group
+          else
+            (* every non-reflector peers with some reflector; reflectors meshed *)
+            List.for_all
+              (fun m ->
+                is_rr m
+                || List.exists (fun r -> connected m r) rrs)
+              group
+            && List.for_all
+                 (fun a -> List.for_all (fun b -> fst a == fst b || connected a b) rrs)
+                 rrs
+        in
+        if ok then None
+        else
+          Some
+            (D.make ~code:"MS-W303" ~severity:D.Warning
+               ~obj:(Printf.sprintf "AS %d" asn)
+               "iBGP group {%s} is neither fully meshed nor covered by a route reflector"
+               (String.concat ", " (List.map (fun ((d : A.device), _) -> d.A.dev_name) group)))
+      end)
+    asns
+
+let check_ospf (dev : A.device) =
+  match dev.A.dev_ospf with
+  | None -> []
+  | Some o ->
+    List.filter_map
+      (fun p ->
+        let enables =
+          List.exists
+            (fun (i : A.interface) ->
+              match i.A.if_ip with Some ip -> P.contains p ip | None -> false)
+            dev.A.dev_interfaces
+        in
+        if enables then None
+        else
+          Some
+            (D.make ~code:"MS-W304" ~severity:D.Warning ~device:dev.A.dev_name
+               ~obj:(Printf.sprintf "ospf network %s" (P.to_string p))
+               "OSPF network statement %s matches no interface address" (P.to_string p)))
+      o.A.ospf_networks
+
+(* Two interfaces of one device sharing a subnet would make the inferred
+   topology link a device to itself; the parser rejects it, this covers
+   networks built directly from the AST. *)
+let check_self_subnets (dev : A.device) =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (i1 : A.interface) :: rest ->
+      let acc =
+        match i1.A.if_prefix with
+        | None -> acc
+        | Some p1 ->
+          (match
+             List.find_opt
+               (fun (i2 : A.interface) ->
+                 match i2.A.if_prefix with Some p2 -> P.equal p1 p2 | None -> false)
+               rest
+           with
+           | Some i2 ->
+             D.make ~code:"MS-E303" ~severity:D.Error ~device:dev.A.dev_name
+               ~obj:(Printf.sprintf "interfaces %s, %s" i1.A.if_name i2.A.if_name)
+               "interfaces %s and %s share subnet %s" i1.A.if_name i2.A.if_name (P.to_string p1)
+             :: acc
+           | None -> acc)
+      in
+      go acc rest
+  in
+  go [] dev.A.dev_interfaces
+
+let check (net : A.network) =
+  List.concat_map (check_neighbors net) net.A.net_devices
+  @ check_router_ids net @ check_ibgp_mesh net
+  @ List.concat_map check_ospf net.A.net_devices
+  @ List.concat_map check_self_subnets net.A.net_devices

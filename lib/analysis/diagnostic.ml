@@ -1,0 +1,103 @@
+(** Structured diagnostics produced by the configuration linter.
+
+    Every finding carries a stable code (MS-Exxx for errors, MS-Wxxx
+    for warnings, MS-Ixxx for informational notes), a severity, an
+    optional device and an optional object location ("route-map EDGE_IN
+    clause 20").  Codes are part of the tool's interface: tests and
+    operators key on them, so they never change meaning. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  device : string option;  (** [None] for network-level findings *)
+  obj : string option;  (** e.g. "prefix-list INTERNAL_SPACE entry 3" *)
+  message : string;
+}
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+(* Lower rank = more severe; used both for sorting and exit codes. *)
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let make ~code ~severity ?device ?obj fmt =
+  Printf.ksprintf (fun message -> { code; severity; device; obj; message }) fmt
+
+let compare a b =
+  let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.device b.device in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.code b.code in
+      if c <> 0 then c else Stdlib.compare (a.obj, a.message) (b.obj, b.message)
+
+let max_severity = function
+  | [] -> None
+  | d :: rest ->
+    Some
+      (List.fold_left
+         (fun acc x -> if severity_rank x.severity < severity_rank acc then x.severity else acc)
+         d.severity rest)
+
+let count sev diags = List.length (List.filter (fun d -> d.severity = sev) diags)
+
+let is_error d = d.severity = Error
+
+(* -- text rendering ------------------------------------------------------------- *)
+
+let to_string d =
+  let where = match d.device with Some dev -> dev | None -> "network" in
+  let obj = match d.obj with Some o -> Printf.sprintf " (%s)" o | None -> "" in
+  Printf.sprintf "%s: %s [%s] %s%s" where (severity_to_string d.severity) d.code d.message obj
+
+let render_text diags =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun d ->
+      Buffer.add_string b (to_string d);
+      Buffer.add_char b '\n')
+    diags;
+  Buffer.add_string b
+    (Printf.sprintf "%d error(s), %d warning(s), %d info\n" (count Error diags)
+       (count Warning diags) (count Info diags));
+  Buffer.contents b
+
+(* -- JSON rendering ------------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_opt = function
+  | None -> "null"
+  | Some s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let to_json d =
+  Printf.sprintf
+    "{\"code\":\"%s\",\"severity\":\"%s\",\"device\":%s,\"object\":%s,\"message\":\"%s\"}"
+    (json_escape d.code)
+    (severity_to_string d.severity)
+    (json_opt d.device) (json_opt d.obj) (json_escape d.message)
+
+let render_json diags =
+  Printf.sprintf
+    "{\"diagnostics\":[%s],\"summary\":{\"errors\":%d,\"warnings\":%d,\"infos\":%d}}\n"
+    (String.concat "," (List.map to_json diags))
+    (count Error diags) (count Warning diags) (count Info diags)

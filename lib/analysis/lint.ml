@@ -1,0 +1,33 @@
+(** The linter: run every check family over a network and collect the
+    sorted diagnostics.  [preflight] is the encoder's pre-flight hook:
+    it raises {!Lint_errors} when Error-level findings exist, so a
+    broken configuration is reported instead of encoded. *)
+
+module D = Diagnostic
+
+exception Lint_errors of D.t list
+
+let run (net : Config.Ast.network) =
+  Refs.check net @ Deadcode.check net @ Consistency.check net |> List.sort D.compare
+
+let errors diags = List.filter D.is_error diags
+
+(** Exit code for a CLI run: 0 clean/info, 1 warnings, 2 errors. *)
+let exit_code diags =
+  match D.max_severity diags with
+  | Some D.Error -> 2
+  | Some D.Warning -> 1
+  | Some D.Info | None -> 0
+
+let preflight net =
+  match errors (run net) with
+  | [] -> ()
+  | errs -> raise (Lint_errors errs)
+
+let () =
+  Printexc.register_printer (function
+    | Lint_errors errs ->
+      Some
+        (Printf.sprintf "Lint_errors:\n%s"
+           (String.concat "\n" (List.map D.to_string errs)))
+    | _ -> None)

@@ -1,0 +1,59 @@
+(** Lint-driven encoding slicing: rewrite a network by deleting
+    configuration the dead-code analysis proves can never influence any
+    decision — subsumed or empty prefix-list entries, shadowed ACL
+    entries, and route-map clauses that can never fire or never be
+    reached.  The resulting network is verification-equivalent to the
+    original (the differential tests assert identical verdicts), but
+    its encoding is smaller because every deleted entry is one fewer
+    term in the first-match chains built by the encoder.
+
+    Deletion decisions come from the same {!Deadcode} index functions
+    the linter reports on, so a slice removes exactly what
+    [minesweeper lint] flags as MS-W201/W202/W203/W204. *)
+
+module A = Config.Ast
+
+let drop_indices dead xs =
+  List.filteri (fun i _ -> not (List.mem i dead)) xs
+
+let prefix_list (pl : A.prefix_list) =
+  { pl with A.pl_entries = drop_indices (Deadcode.dead_prefix_entries pl) pl.A.pl_entries }
+
+let acl (a : A.acl) =
+  { a with A.acl_entries = drop_indices (Deadcode.shadowed_acl_entries a) a.A.acl_entries }
+
+(* Clause deadness is judged against the original device, whose
+   prefix-lists the clauses refer to. *)
+let route_map (dev : A.device) (rm : A.route_map) =
+  let dead = List.map fst (Deadcode.dead_clauses dev rm) in
+  { rm with A.rm_clauses = drop_indices dead rm.A.rm_clauses }
+
+let device (dev : A.device) =
+  {
+    dev with
+    A.dev_prefix_lists = List.map prefix_list dev.A.dev_prefix_lists;
+    dev_acls = List.map acl dev.A.dev_acls;
+    dev_route_maps = List.map (route_map dev) dev.A.dev_route_maps;
+  }
+
+let network (net : A.network) =
+  { net with A.net_devices = List.map device net.A.net_devices }
+
+(** [(entries, acl_entries, clauses)] removed by slicing — for
+    reporting. *)
+let removed_counts (net : A.network) =
+  List.fold_left
+    (fun (pe, ae, cl) (d : A.device) ->
+      ( pe
+        + List.fold_left
+            (fun acc pl -> acc + List.length (Deadcode.dead_prefix_entries pl))
+            0 d.A.dev_prefix_lists,
+        ae
+        + List.fold_left
+            (fun acc a -> acc + List.length (Deadcode.shadowed_acl_entries a))
+            0 d.A.dev_acls,
+        cl
+        + List.fold_left
+            (fun acc rm -> acc + List.length (Deadcode.dead_clauses d rm))
+            0 d.A.dev_route_maps ))
+    (0, 0, 0) net.A.net_devices

@@ -1,6 +1,26 @@
-exception Parse_error of { line : int; message : string }
+type error = { line : int; col : int; token : string option; message : string }
 
-let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+exception Parse_error of error
+
+let error_to_string ?file (e : error) =
+  let pos =
+    match file with
+    | Some f -> Printf.sprintf "%s:%d" f e.line
+    | None -> Printf.sprintf "line %d" e.line
+  in
+  let pos = if e.col > 0 then Printf.sprintf "%s:%d" pos e.col else pos in
+  let near = match e.token with Some t -> Printf.sprintf " (near %S)" t | None -> "" in
+  Printf.sprintf "%s: %s%s" pos e.message near
+
+let fail ?(col = 0) ?token line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; col; token; message })) fmt
+
+(* 1-based column of the first occurrence of [tok] in [raw]; 0 when not
+   found (e.g. the line was rewritten by trimming). *)
+let column_of raw tok =
+  let n = String.length raw and m = String.length tok in
+  let rec go i = if i + m > n then 0 else if String.sub raw i m = tok then i + 1 else go (i + 1) in
+  if m = 0 then 0 else go 0
 
 let tokens_of_line l =
   String.split_on_char ' ' l |> List.filter (fun t -> t <> "")
@@ -222,7 +242,7 @@ let parse_lines text ~(on_unknown_hostname : [ `Implicit | `Error ]) =
       net.devices <- net.devices @ [ finish_device b ];
       device := None
   in
-  let handle line toks =
+  let handle line raw toks =
     let b () = get_device line in
     match (!ctx, toks) with
     | _, [] -> ()
@@ -439,18 +459,49 @@ let parse_lines text ~(on_unknown_hostname : [ `Implicit | `Error ]) =
       (match Net.Community.of_string_opt comm with
        | Some c -> (b ()).db_rm_sets <- Ast.Delete_community c :: (b ()).db_rm_sets
        | None -> fail line "bad community %s" comm)
-    | _, tok :: _ -> fail line "unknown or misplaced command starting with %s" tok
+    | _, tok :: _ ->
+      fail line ~col:(column_of raw tok) ~token:tok "unknown or misplaced command"
   in
   let lines = String.split_on_char '\n' text in
   List.iteri
     (fun i l ->
-      let l = String.trim l in
-      handle (i + 1) (tokens_of_line l))
+      let trimmed = String.trim l in
+      handle (i + 1) l (tokens_of_line trimmed))
     lines;
   flush_device ();
   net
 
+(* Two interfaces of one device in the same subnet would pair up below
+   as a link from the device to itself; reject the configuration with a
+   lint-grade message instead. *)
+let check_no_self_subnets devices =
+  List.iter
+    (fun (d : Ast.device) ->
+      let rec go = function
+        | [] -> ()
+        | (i1 : Ast.interface) :: rest ->
+          (match i1.Ast.if_prefix with
+           | Some p1 ->
+             (match
+                List.find_opt
+                  (fun (i2 : Ast.interface) ->
+                    match i2.Ast.if_prefix with
+                    | Some p2 -> Net.Prefix.equal p1 p2
+                    | None -> false)
+                  rest
+              with
+              | Some i2 ->
+                fail 0 "device %s: interfaces %s and %s share subnet %s" d.Ast.dev_name
+                  i1.Ast.if_name i2.Ast.if_name (Net.Prefix.to_string p1)
+              | None -> ())
+           | None -> ());
+          go rest
+      in
+      go d.Ast.dev_interfaces)
+    devices
+
 let infer_topology devices =
+  check_no_self_subnets devices;
   let topo = List.fold_left (fun t (d : Ast.device) -> Net.Topology.add_device t d.Ast.dev_name) Net.Topology.empty devices in
   (* Link interfaces that share a connected subnet but have different IPs. *)
   let endpoints =
@@ -488,8 +539,8 @@ let parse_device text =
   let net = parse_lines text ~on_unknown_hostname:`Implicit in
   match net.devices with
   | [ d ] -> d
-  | [] -> raise (Parse_error { line = 0; message = "empty configuration" })
-  | _ -> raise (Parse_error { line = 0; message = "multiple devices in parse_device" })
+  | [] -> fail 0 "empty configuration"
+  | _ -> fail 0 "multiple devices in parse_device"
 
 let parse_network text =
   let net = parse_lines text ~on_unknown_hostname:`Error in

@@ -9,7 +9,18 @@
     between devices are inferred from interfaces sharing a subnet, or
     declared explicitly with [link <dev1> <if1> <dev2> <if2>] lines. *)
 
-exception Parse_error of { line : int; message : string }
+type error = {
+  line : int;  (** 1-based; 0 when the error is not tied to a line *)
+  col : int;  (** 1-based column of the offending token; 0 when unknown *)
+  token : string option;  (** the offending token, when identified *)
+  message : string;
+}
+
+exception Parse_error of error
+
+val error_to_string : ?file:string -> error -> string
+(** ["net.cfg:12:4: unknown or misplaced command (near \"bananas\")"];
+    without [?file], ["line 12:4: ..."]. *)
 
 val parse_device : string -> Ast.device
 (** Parse a single device configuration.
@@ -21,4 +32,6 @@ val parse_network : string -> Ast.network
 
 val infer_topology : Ast.device list -> Net.Topology.t
 (** Link two devices whenever they own distinct addresses inside the
-    same connected subnet. *)
+    same connected subnet.
+    @raise Parse_error if two interfaces of one device share a subnet
+    (that would be a self-link). *)

@@ -119,11 +119,17 @@ let device_to_string (d : Ast.device) =
 let network_to_string (n : Ast.network) =
   let b = Buffer.create 4096 in
   List.iter (fun d -> add b (device_to_string d)) n.net_devices;
-  (* Emit explicit links so the round trip does not depend on inference. *)
+  (* Emit explicit links so the round trip does not depend on inference;
+     canonical endpoint order and sorting make the output a function of
+     the link set, not of construction order. *)
+  let canonical (l : Net.Topology.link) =
+    if (l.a.device, l.a.interface) <= (l.b.device, l.b.interface) then l
+    else { Net.Topology.a = l.b; b = l.a }
+  in
   List.iter
     (fun (l : Net.Topology.link) ->
       addf b "link %s %s %s %s\n" l.a.device l.a.interface l.b.device l.b.interface)
-    (Net.Topology.links n.net_topology);
+    (List.sort compare (List.map canonical (Net.Topology.links n.net_topology)));
   Buffer.contents b
 
 let count_config_lines text =

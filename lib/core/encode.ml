@@ -960,6 +960,8 @@ and build_forwarding t (dev : A.device) =
     (hops t d)
 
 let build ?(suffix = "") net opts =
+  if opts.Options.preflight_lint then Analysis.Lint.preflight net;
+  let net = if opts.Options.lint_slice then Analysis.Slice.network net else net in
   build_general net opts ~igp_only:false ~suffix ~dst_const:None ~shared_failed:None
 
 let stats t =

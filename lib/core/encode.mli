@@ -16,7 +16,15 @@ type t
 val build : ?suffix:string -> Config.Ast.network -> Options.t -> t
 (** [suffix] distinguishes variable names when several encodings of the
     same network coexist in one formula (equivalence and
-    fault-invariance checks). *)
+    fault-invariance checks).
+
+    When [opts.preflight_lint] is set (the default), the {!Analysis}
+    linter runs first and Error-level findings abort the build with
+    {!Analysis.Lint.Lint_errors} — a broken configuration is reported,
+    not encoded.  When [opts.lint_slice] is set, provably-dead policy
+    clauses and filter entries are deleted before encoding (verdicts
+    are unchanged; see {!Analysis.Slice}).
+    @raise Analysis.Lint.Lint_errors on Error-level lint findings. *)
 
 val network : t -> Config.Ast.network
 val options : t -> Options.t

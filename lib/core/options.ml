@@ -29,6 +29,18 @@ type t = {
           peer not announcing, which the symbolic environment already
           covers; fault-invariance checking therefore uses this mode to
           avoid double-counting the environment as a "failure". *)
+  preflight_lint : bool;
+      (** Run the {!Analysis} linter before encoding and refuse to
+          encode a network with Error-level findings (undefined policy
+          objects, AS mismatches, ...): {!Encode.build} raises
+          {!Analysis.Lint.Lint_errors} instead of silently verifying
+          the wrong network. *)
+  lint_slice : bool;
+      (** Lint-driven slicing: before encoding, delete route-map
+          clauses and prefix-list/ACL entries the dead-code analysis
+          proves can never fire (the linter's MS-W201/202/203/204
+          findings).  Verification verdicts are unchanged; the formula
+          shrinks. *)
 }
 
 let default =
@@ -39,8 +51,11 @@ let default =
     merge_dataplane = true;
     max_failures = None;
     fail_internal_only = false;
+    preflight_lint = true;
+    lint_slice = false;
   }
 
 let naive = { default with hoist_prefixes = false; slice_unused = false; merge_filters = false; merge_dataplane = false }
 
 let with_failures k t = { t with max_failures = Some k }
+let with_slicing t = { t with lint_slice = true }

@@ -8,10 +8,15 @@ type t = { devs : unit Smap.t; edges : link list }
 let empty = { devs = Smap.empty; edges = [] }
 let add_device t name = { t with devs = Smap.add name () t.devs }
 
+let link_equal l1 l2 =
+  (l1.a = l2.a && l1.b = l2.b) || (l1.a = l2.b && l1.b = l2.a)
+
 let add_link t link =
   if link.a.device = link.b.device then invalid_arg "Topology.add_link: self-link";
   let t = add_device (add_device t link.a.device) link.b.device in
-  { t with edges = link :: t.edges }
+  (* Idempotent, either orientation: explicit [link] lines and subnet
+     inference may both produce the same link. *)
+  if List.exists (link_equal link) t.edges then t else { t with edges = link :: t.edges }
 
 let devices t = List.map fst (Smap.bindings t.devs)
 let links t = List.rev t.edges

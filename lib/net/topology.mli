@@ -12,7 +12,8 @@ val add_device : t -> string -> t
 (** Idempotent. *)
 
 val add_link : t -> link -> t
-(** Adds both devices if missing.
+(** Adds both devices if missing; idempotent (a link already present in
+    either orientation is not duplicated).
     @raise Invalid_argument for self-links. *)
 
 val devices : t -> string list

@@ -124,6 +124,27 @@ let test_parse_errors () =
   expect_error "hostname R1\nroute-map M permit ten\n";
   expect_error "hostname R1\n set local-preference 5\n"
 
+let test_parse_error_location () =
+  match Parser.parse_device "hostname R1\n  banana stand\n" with
+  | exception Parser.Parse_error e ->
+    Alcotest.(check int) "line" 2 e.Parser.line;
+    Alcotest.(check int) "col" 3 e.Parser.col;
+    Alcotest.(check (option string)) "token" (Some "banana") e.Parser.token;
+    let rendered = Parser.error_to_string ~file:"net.cfg" e in
+    Alcotest.(check string) "rendered" "net.cfg:2:3: unknown or misplaced command (near \"banana\")"
+      rendered
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_reject_shared_subnet () =
+  let cfg =
+    "hostname R1\ninterface e0\n ip address 10.0.0.1/24\ninterface e1\n ip address 10.0.0.2/24\n"
+  in
+  match Parser.parse_network cfg with
+  | exception Parser.Parse_error e ->
+    Alcotest.(check bool) "mentions subnet" true
+      (Str.string_match (Str.regexp ".*share subnet 10\\.0\\.0\\.0/24.*") e.Parser.message 0)
+  | _ -> Alcotest.fail "expected shared-subnet rejection"
+
 let two_device_config =
   {|hostname A
 interface e0
@@ -150,6 +171,43 @@ let test_config_lines () =
   let d = parse () in
   Alcotest.(check bool) "line count positive" true (Printer.config_lines d > 20)
 
+(* Round-trip property over the synthetic networks: reparsing a printed
+   network reproduces every device structurally and the same link set
+   (links compared as an orientation-insensitive set, since the parser
+   re-infers subnets before reading explicit link lines). *)
+let canonical_links (net : A.network) =
+  List.sort compare
+    (List.map
+       (fun (l : Net.Topology.link) ->
+         let ea = (l.Net.Topology.a.device, l.Net.Topology.a.interface) in
+         let eb = (l.Net.Topology.b.device, l.Net.Topology.b.interface) in
+         if ea <= eb then (ea, eb) else (eb, ea))
+       (Net.Topology.links net.A.net_topology))
+
+let test_roundtrip_generators () =
+  let nets =
+    [
+      ("fattree pods=2", (Generators.Fattree.make ~pods:2).Generators.Fattree.network);
+      ("fattree pods=4", (Generators.Fattree.make ~pods:4).Generators.Fattree.network);
+      ( "enterprise",
+        (Generators.Enterprise.make ~seed:7 ~routers:8
+           ~inject:{ Generators.Enterprise.hijack = false; acl_gap = false; deep_drop = false }
+           ())
+          .Generators.Enterprise.network );
+    ]
+  in
+  List.iter
+    (fun (name, net) ->
+      let printed = Printer.network_to_string net in
+      let net2 = Parser.parse_network printed in
+      Alcotest.(check bool) (name ^ ": devices round-trip") true (net.A.net_devices = net2.A.net_devices);
+      Alcotest.(check bool)
+        (name ^ ": link set round-trips")
+        true
+        (canonical_links net = canonical_links net2);
+      Alcotest.(check string) (name ^ ": print fixpoint") printed (Printer.network_to_string net2))
+    nets
+
 let () =
   Alcotest.run "config"
     [
@@ -160,6 +218,8 @@ let () =
           Alcotest.test_case "route-map" `Quick test_parse_route_map;
           Alcotest.test_case "acl wildcard" `Quick test_parse_acl_wildcard;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error location" `Quick test_parse_error_location;
+          Alcotest.test_case "shared subnet rejected" `Quick test_reject_shared_subnet;
           Alcotest.test_case "network inference" `Quick test_network_inference;
         ] );
       ( "semantics",
@@ -167,6 +227,7 @@ let () =
       ( "printer",
         [
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "generator roundtrip" `Quick test_roundtrip_generators;
           Alcotest.test_case "config lines" `Quick test_config_lines;
         ] );
     ]
