@@ -1,7 +1,9 @@
 # Convenience targets; `make check` is the full local gate: build,
-# test suite, and a lint pass over every example configuration.
+# test suite, a lint pass over every example configuration, and the
+# batch-verification smoke benchmark (one incremental session must
+# beat N fresh solvers with identical verdicts).
 
-.PHONY: all build test lint check clean
+.PHONY: all build test lint bench-smoke check clean
 
 all: build
 
@@ -17,7 +19,10 @@ lint: build
 	  dune exec bin/minesweeper_cli.exe -- lint $$f || exit 1; \
 	done
 
-check: build test lint
+bench-smoke: build
+	dune exec bench/main.exe -- batch --smoke
+
+check: build test lint bench-smoke
 
 clean:
 	dune clean

@@ -8,10 +8,14 @@
                  folded-Clos data centers of increasing size (Figure 8)
      opts        optimization ablation (§8.3): naive bit-vector
                  encoding vs prefix hoisting vs hoisting+slicing
+     batch       incremental verification session vs N fresh solvers
+                 on the fig7 property suite; writes BENCH_batch.json
+                 (--smoke: subsampled, exits 1 if the session path is
+                 not faster or any verdict diverges)
      micro       Bechamel micro-benchmarks of the SMT substrate
      all         everything above
 
-   Usage: dune exec bench/main.exe -- [fig7|fig8|opts|violations|micro|all] [--full]
+   Usage: dune exec bench/main.exe -- [fig7|fig8|opts|violations|batch|micro|all] [--full|--smoke]
 
    By default the expensive sweeps are subsampled so the whole harness
    finishes in minutes; pass --full for the complete paper-scale runs
@@ -269,6 +273,129 @@ let opts_bench () =
     scenarios;
   print_endline "  (paper: hoisting ~200x on average, slicing a further ~2.3x, up to 460x total)"
 
+(* ---------------- incremental batch verification ---------------- *)
+
+(* The fig7 §8.1 suite over one enterprise network, as labelled query
+   builders sharing an encoding (fault invariance is excluded: its
+   two-copy encoding cannot share a session). *)
+let batch_suite (t : G.Enterprise.t) =
+  let net = t.G.Enterprise.network in
+  let devices = List.map (fun (d : A.device) -> d.A.dev_name) net.A.net_devices in
+  let target = List.hd (List.rev devices) in
+  let mgmt_dest = MS.Property.Subnet (target, t.G.Enterprise.mgmt_prefix target) in
+  let allowed = t.G.Enterprise.edge_routers @ t.G.Enterprise.rack_role in
+  let equiv =
+    match t.G.Enterprise.rack_role with
+    | r1 :: r2 :: _ -> [ ("acl-equivalence", fun enc -> MS.Property.acl_equivalence enc r1 r2) ]
+    | _ -> []
+  in
+  [
+    ("mgmt-reachability", fun enc -> MS.Property.reachability enc ~sources:devices mgmt_dest);
+    ("no-blackholes", fun enc -> MS.Property.no_blackholes enc ~allowed ());
+    ("no-loops", fun enc -> MS.Property.no_loops enc ());
+  ]
+  @ equiv
+
+let batch ~smoke () =
+  print_endline "== batch verification: one incremental session vs N fresh solvers ==";
+  let routers = if smoke then 8 else if !full then 24 else 12 in
+  let seed = 3 in
+  let t = G.Enterprise.make ~seed ~routers ~inject:G.Enterprise.no_bugs () in
+  let net = t.G.Enterprise.network in
+  let opts = MS.Options.default in
+  let suite = batch_suite t in
+  let n = List.length suite in
+  Printf.printf "   enterprise seed=%d routers=%d, %d-property suite (fig7)\n%!" seed routers n;
+  (* Baseline: each query pays for its own encoding and its own solver,
+     exactly what N independent Verify.verify calls do. *)
+  let baseline =
+    List.map
+      (fun (name, make) ->
+        let o, ms = time (fun () -> MS.Verify.verify net opts make) in
+        Printf.printf "   fresh    %-20s %-9s %10.1f ms\n%!" name (outcome_str o) ms;
+        (name, o, ms))
+      suite
+  in
+  (* Session: encode and assert the network once, then check each
+     property under a fresh activation literal on the same solver. *)
+  let session, setup_ms = time (fun () -> MS.Verify.Session.create net opts) in
+  Printf.printf "   session  %-20s %20.1f ms\n%!" "(encode + assert)" setup_ms;
+  let session_runs =
+    List.map
+      (fun (name, make) ->
+        let o, ms =
+          time (fun () ->
+              MS.Verify.Session.check session (make (MS.Verify.Session.encoding session)))
+        in
+        Printf.printf "   session  %-20s %-9s %10.1f ms\n%!" name (outcome_str o) ms;
+        (name, o, ms))
+      suite
+  in
+  let total l = List.fold_left (fun a (_, _, ms) -> a +. ms) 0.0 l in
+  let baseline_total = total baseline in
+  let session_total = setup_ms +. total session_runs in
+  let agree =
+    List.for_all2 (fun (_, a, _) (_, b, _) -> outcome_str a = outcome_str b) baseline session_runs
+  in
+  let st = MS.Verify.Session.stats session in
+  Printf.printf
+    "   baseline %.1f ms | session %.1f ms (setup %.1f) | speedup %.2fx | amortized %.1f \
+     ms/query\n\
+     %!"
+    baseline_total session_total setup_ms
+    (baseline_total /. session_total)
+    (session_total /. float_of_int n);
+  Printf.printf "   session solver: %d conflicts, %d learned clauses, %d restarts over %d checks\n%!"
+    st.Smt.Solver.conflicts st.Smt.Solver.learned_clauses st.Smt.Solver.restarts
+    st.Smt.Solver.checks;
+  if not agree then print_endline "   !! verdict mismatch between fresh and session paths";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"network\": { \"kind\": \"enterprise\", \"seed\": %d, \"routers\": %d },\n" seed
+       routers);
+  Buffer.add_string buf "  \"queries\": [\n";
+  List.iteri
+    (fun i ((name, bo, bms), (_, so, sms)) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"fresh_verdict\": \"%s\", \"fresh_ms\": %.2f, \
+            \"session_verdict\": \"%s\", \"session_ms\": %.2f }%s\n"
+           name (outcome_str bo) bms (outcome_str so) sms (if i = n - 1 then "" else ",")))
+    (List.combine baseline session_runs);
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf (Printf.sprintf "  \"session_setup_ms\": %.2f,\n" setup_ms);
+  Buffer.add_string buf (Printf.sprintf "  \"baseline_total_ms\": %.2f,\n" baseline_total);
+  Buffer.add_string buf (Printf.sprintf "  \"session_total_ms\": %.2f,\n" session_total);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"amortized_ms_per_query\": %.2f,\n"
+       (session_total /. float_of_int n));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup\": %.3f,\n" (baseline_total /. session_total));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"learned_clauses\": %d,\n" st.Smt.Solver.learned_clauses);
+  Buffer.add_string buf (Printf.sprintf "  \"restarts\": %d,\n" st.Smt.Solver.restarts);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"verdicts_agree\": %b\n" agree);
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_batch.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_endline "   wrote BENCH_batch.json";
+  if smoke then
+    if not agree then begin
+      prerr_endline "bench-smoke: verdict mismatch between fresh and session paths";
+      exit 1
+    end
+    else if session_total >= baseline_total then begin
+      Printf.eprintf
+        "bench-smoke: session path (%.1f ms) not faster than %d fresh solves (%.1f ms)\n"
+        session_total n baseline_total;
+      exit 1
+    end
+    else print_endline "   smoke OK: session faster than fresh solves, identical verdicts"
+
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
 let micro () =
@@ -316,11 +443,33 @@ let micro () =
         | Some [] | None -> ())
       results
   in
-  List.iter run_test [ sat_test; idl_test; encode_test ]
+  List.iter run_test [ sat_test; idl_test; encode_test ];
+  (* Accumulated statistics of one incremental solver across a small
+     session: bound a difference-logic chain, then probe it three times
+     under increasingly tight assumptions. *)
+  let module T = Smt.Term in
+  let module Solver = Smt.Solver in
+  let s = Solver.create ~incremental:true () in
+  let xs = Array.init 40 (fun i -> T.var (Printf.sprintf "micro!x%d" i) Smt.Sort.Int) in
+  for i = 0 to 38 do
+    Solver.assert_term s (T.lt xs.(i) xs.(i + 1))
+  done;
+  Solver.assert_term s (T.leq (T.int_const 0) xs.(0));
+  List.iter
+    (fun bound -> ignore (Solver.check s ~assumptions:[ T.leq xs.(39) (T.int_const bound) ]))
+    [ 100; 39; 38 ];
+  let st = Solver.stats s in
+  Printf.printf
+    "  incremental session: %d checks, %d conflicts, %d decisions, %d propagations, %d learned \
+     clauses, %d restarts\n\
+     %!"
+    st.Solver.checks st.Solver.conflicts st.Solver.decisions st.Solver.propagations
+    st.Solver.learned_clauses st.Solver.restarts
 
 let () =
   let args = Array.to_list Sys.argv in
   full := List.mem "--full" args;
+  let smoke = List.mem "--smoke" args in
   let which =
     match List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) (List.tl args) with
     | [] -> "all"
@@ -333,6 +482,7 @@ let () =
    | "opts" -> opts_bench ()
    | "violations" -> violations ()
    | "micro" -> micro ()
+   | "batch" -> batch ~smoke ()
    | "all" ->
      fig7 ();
      print_newline ();
@@ -342,8 +492,10 @@ let () =
      print_newline ();
      violations ();
      print_newline ();
+     batch ~smoke ();
+     print_newline ();
      micro ()
    | other ->
-     Printf.eprintf "unknown benchmark %s (fig7|fig8|opts|violations|micro|all)\n" other;
+     Printf.eprintf "unknown benchmark %s (fig7|fig8|opts|violations|batch|micro|all)\n" other;
      exit 2);
   Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

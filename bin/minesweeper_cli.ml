@@ -84,8 +84,21 @@ let verify_cmd =
   let allowed =
     Arg.(value & opt (list string) [] & info [ "allowed" ] ~doc:"Devices allowed to drop (blackholes).")
   in
+  let batch =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "batch" ]
+          ~docv:"PROPS"
+          ~doc:
+            "Verify a comma-separated suite of properties in one incremental session: the \
+             network is encoded and asserted once and every query reuses the solver's learned \
+             state. Accepts the same names as $(b,--property) plus $(b,all-pairs) \
+             (per-destination reachability from every other device). Example: \
+             $(b,--batch reachability,blackholes,loops) or $(b,--batch all-pairs).")
+  in
   let run file property sources dst_device dst_prefix bound devices max_len failures naive slice
-        no_lint allowed =
+        no_lint allowed batch =
     let net = load_network file in
     let opts = opts_of ~slice naive failures in
     let opts = if no_lint then { opts with MS.Options.preflight_lint = false } else opts in
@@ -106,42 +119,108 @@ let verify_cmd =
         prerr_endline "missing --dst-device";
         exit 2
     in
-    let prop =
-      match property with
-      | `Reachability -> MS.Property.reachability enc ~sources (dest ())
-      | `Isolation -> MS.Property.isolation enc ~sources (dest ())
-      | `Bounded -> MS.Property.bounded_length enc ~sources (dest ()) ~bound
-      | `Blackholes -> MS.Property.no_blackholes enc ~allowed ()
-      | `Loops -> MS.Property.no_loops enc ()
-      | `Multipath -> MS.Property.multipath_consistency enc (dest ())
-      | `Acl_equiv ->
-        (match devices with
-         | [ d1; d2 ] -> MS.Property.acl_equivalence enc d1 d2
-         | _ ->
-           prerr_endline "--devices d1,d2 required";
-           exit 2)
-      | `Local_equiv ->
-        (match devices with
-         | [ d1; d2 ] -> MS.Property.local_equivalence enc d1 d2
-         | _ ->
-           prerr_endline "--devices d1,d2 required";
-           exit 2)
-      | `Leak -> MS.Property.no_leak enc ~max_len
+    let pair_or_exit () =
+      match devices with
+      | [ d1; d2 ] -> (d1, d2)
+      | _ ->
+        prerr_endline "--devices d1,d2 required";
+        exit 2
     in
-    match MS.Verify.check_with_stats enc prop with
-    | MS.Verify.Holds, st ->
-      Printf.printf "verified (SAT vars %d, clauses %d, conflicts %d)\n" st.Smt.Solver.sat_vars
-        st.sat_clauses st.conflicts;
-      exit 0
-    | MS.Verify.Violation cx, _ ->
-      print_endline "VIOLATED - counterexample:";
-      print_string (MS.Counterexample.to_string cx);
-      exit 1
+    (* A property name expands to one or more labelled queries over the
+       shared encoding; [all-pairs] fans out per destination device. *)
+    let queries_of = function
+      | `Reachability ->
+        [ ("reachability", fun enc -> MS.Property.reachability enc ~sources (dest ())) ]
+      | `Isolation -> [ ("isolation", fun enc -> MS.Property.isolation enc ~sources (dest ())) ]
+      | `Bounded ->
+        [ ("bounded-length", fun enc -> MS.Property.bounded_length enc ~sources (dest ()) ~bound) ]
+      | `Blackholes -> [ ("blackholes", fun enc -> MS.Property.no_blackholes enc ~allowed ()) ]
+      | `Loops -> [ ("loops", fun enc -> MS.Property.no_loops enc ()) ]
+      | `Multipath ->
+        [ ("multipath-consistency", fun enc -> MS.Property.multipath_consistency enc (dest ())) ]
+      | `Acl_equiv ->
+        let d1, d2 = pair_or_exit () in
+        [ ("acl-equivalence", fun enc -> MS.Property.acl_equivalence enc d1 d2) ]
+      | `Local_equiv ->
+        let d1, d2 = pair_or_exit () in
+        [ ("local-equivalence", fun enc -> MS.Property.local_equivalence enc d1 d2) ]
+      | `Leak -> [ ("no-leak", fun enc -> MS.Property.no_leak enc ~max_len) ]
+      | `All_pairs ->
+        List.filter_map
+          (fun d ->
+            if MS.Encode.subnets enc d = [] then None
+            else begin
+              let srcs = List.filter (fun s -> s <> d) all_devices in
+              Some
+                ( "reachability *->" ^ d,
+                  fun enc -> MS.Property.reachability enc ~sources:srcs (MS.Property.Device d) )
+            end)
+          all_devices
+    in
+    match batch with
+    | None ->
+      let prop = (snd (List.hd (queries_of property))) enc in
+      (match MS.Verify.check_with_stats enc prop with
+       | MS.Verify.Holds, st ->
+         Printf.printf "verified (SAT vars %d, clauses %d, conflicts %d)\n" st.Smt.Solver.sat_vars
+           st.sat_clauses st.conflicts;
+         exit 0
+       | MS.Verify.Violation cx, _ ->
+         print_endline "VIOLATED - counterexample:";
+         print_string (MS.Counterexample.to_string cx);
+         exit 1)
+    | Some names ->
+      let parse name =
+        match name with
+        | "reachability" -> `Reachability
+        | "isolation" -> `Isolation
+        | "bounded-length" -> `Bounded
+        | "blackholes" -> `Blackholes
+        | "loops" -> `Loops
+        | "multipath-consistency" -> `Multipath
+        | "acl-equivalence" -> `Acl_equiv
+        | "local-equivalence" -> `Local_equiv
+        | "no-leak" -> `Leak
+        | "all-pairs" -> `All_pairs
+        | other ->
+          Printf.eprintf "unknown batch property %s\n" other;
+          exit 2
+      in
+      let queries = List.concat_map (fun n -> queries_of (parse n)) names in
+      if queries = [] then begin
+        prerr_endline "empty batch";
+        exit 2
+      end;
+      let session = MS.Verify.Session.of_encoding enc in
+      let t0 = Unix.gettimeofday () in
+      let violations = ref 0 in
+      List.iter
+        (fun (label, make) ->
+          let q0 = Unix.gettimeofday () in
+          let outcome = MS.Verify.Session.check session (make enc) in
+          let ms = (Unix.gettimeofday () -. q0) *. 1000.0 in
+          match outcome with
+          | MS.Verify.Holds -> Printf.printf "  %-36s verified  %8.1f ms\n%!" label ms
+          | MS.Verify.Violation cx ->
+            incr violations;
+            Printf.printf "  %-36s VIOLATED  %8.1f ms\n%!" label ms;
+            print_string (MS.Counterexample.to_string cx))
+        queries;
+      let total_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let st = MS.Verify.Session.stats session in
+      Printf.printf
+        "%d queries in %.1f ms (%.1f ms/query amortized; %d conflicts, %d learned clauses, %d \
+         restarts)\n"
+        (MS.Verify.Session.queries session)
+        total_ms
+        (total_ms /. float_of_int (max 1 (MS.Verify.Session.queries session)))
+        st.Smt.Solver.conflicts st.Smt.Solver.learned_clauses st.Smt.Solver.restarts;
+      exit (if !violations > 0 then 1 else 0)
   in
   Cmd.v (Cmd.info "verify" ~doc:"Verify a property of a configuration.")
     Term.(
       const run $ file_arg $ property $ sources $ dst_device $ dst_prefix $ bound $ devices
-      $ max_len $ failures $ naive $ slice $ no_lint $ allowed)
+      $ max_len $ failures $ naive $ slice $ no_lint $ allowed $ batch)
 
 (* ---- lint ---- *)
 

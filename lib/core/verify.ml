@@ -26,6 +26,49 @@ let verify net opts make_prop =
   let enc = Encode.build net opts in
   check enc (make_prop enc)
 
+(* -- incremental verification sessions ------------------------------------- *)
+
+module Session = struct
+  type session = {
+    enc : Encode.t;
+    solver : Solver.t;
+    mutable next : int;
+    mutable active : T.t option;  (* activation literal of the live query *)
+  }
+
+  type t = session
+
+  let of_encoding enc =
+    let solver = Solver.create ~incremental:true () in
+    List.iter (Solver.assert_term solver) (Encode.assertions enc);
+    { enc; solver; next = 0; active = None }
+
+  let create net opts = of_encoding (Encode.build net opts)
+  let encoding s = s.enc
+  let queries s = s.next
+  let stats s = Solver.stats s.solver
+
+  let check s prop =
+    (* Retire the previous query for good: the unit clause satisfies
+       all of its guarded clauses, so clause-database reduction can
+       drop any learnt clause that still mentions it. *)
+    (match s.active with
+     | Some act -> Solver.assert_term s.solver (T.not_ act)
+     | None -> ());
+    let act = T.var (Printf.sprintf "session!%d.act" s.next) Smt.Sort.Bool in
+    s.next <- s.next + 1;
+    s.active <- Some act;
+    List.iter
+      (Solver.assert_implied s.solver ~guard:act)
+      (prop.Property.instrumentation @ prop.Property.assumptions);
+    Solver.assert_implied s.solver ~guard:act (T.not_ prop.Property.goal);
+    match Solver.check ~assumptions:[ act ] s.solver with
+    | Solver.Unsat -> Holds
+    | Solver.Sat model -> Violation (Counterexample.decode s.enc model)
+
+  let check_all s make_props = List.map (fun make -> check s (make s.enc)) make_props
+end
+
 let record_eq (a : Sym_record.t) (b : Sym_record.t) =
   T.and_
     [

@@ -14,6 +14,48 @@ val check_with_stats : Encode.t -> Property.t -> outcome * Smt.Solver.stats
 val verify : Config.Ast.network -> Options.t -> (Encode.t -> Property.t) -> outcome
 (** Convenience: build the encoding and check one property. *)
 
+(** Incremental verification sessions: one network encoding answering
+    many property queries on a single incremental solver.
+
+    The network semantics [N] is asserted once at session creation.
+    Each query's instrumentation, assumptions and negated goal are then
+    guarded behind a fresh activation literal ([act => constraint]) and
+    checked under the assumption [act]; the next query permanently
+    retires the previous activation literal with a unit clause.  The
+    SAT core keeps its clause database, learnt clauses, variable
+    activities and saved phases across queries, and the CNF cache
+    deduplicates terms shared between queries — so a suite of
+    properties is markedly cheaper than one fresh solver per query
+    (learnt-clause reuse is sound because learnt clauses are derived
+    from asserted clauses only, never from the retractable
+    assumptions). *)
+module Session : sig
+  type t
+
+  val create : Config.Ast.network -> Options.t -> t
+  (** Build the encoding and assert the network semantics once. *)
+
+  val of_encoding : Encode.t -> t
+  (** Start a session over an already-built encoding. *)
+
+  val encoding : t -> Encode.t
+
+  val check : t -> Property.t -> outcome
+  (** Check one property (built against {!encoding}).  Any number of
+      calls is allowed; verdicts are identical to {!Verify.check} on a
+      fresh solver. *)
+
+  val check_all : t -> (Encode.t -> Property.t) list -> outcome list
+  (** Run a suite of property queries in order against the session's
+      encoding. *)
+
+  val queries : t -> int
+  (** Number of queries checked so far. *)
+
+  val stats : t -> Smt.Solver.stats
+  (** Solver statistics accumulated over all queries of the session. *)
+end
+
 val equivalent : Config.Ast.network -> Config.Ast.network -> Options.t -> outcome
 (** Full equivalence (§5): under pointwise-equal environments and the
     same packet, both networks make identical forwarding decisions and

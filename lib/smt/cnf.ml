@@ -288,3 +288,14 @@ let rec assert_term c (t : Term.t) =
   | Term.And conj -> List.iter (assert_term c) conj
   | Term.Or disj -> Sat.add_clause c.sat (List.map (lit_of c) disj)
   | _ -> Sat.add_clause c.sat [ lit_of c t ]
+
+let assert_implied c ~guard t =
+  let g = Sat.lit_neg (lit_of c guard) in
+  let rec go (t : Term.t) =
+    match t.node with
+    | Term.True -> ()
+    | Term.And conj -> List.iter go conj
+    | Term.Or disj -> Sat.add_clause c.sat (g :: List.map (lit_of c) disj)
+    | _ -> Sat.add_clause c.sat [ g; lit_of c t ]
+  in
+  go t

@@ -31,6 +31,13 @@ val sat : t -> Sat.t
 val assert_term : t -> Term.t -> unit
 (** Convert a Boolean term to clauses and assert it. *)
 
+val assert_implied : t -> guard:Term.t -> Term.t -> unit
+(** [assert_implied c ~guard t] asserts [guard => t], pushing the
+    negated guard literal into each top-level clause of [t]'s
+    conversion.  With [guard] a fresh activation variable this makes
+    the assertion retractable: assuming [guard] enables it, a unit
+    clause [not guard] retires it for good. *)
+
 val lit_of : t -> Term.t -> int
 (** SAT literal of a Boolean term (converting it if needed). *)
 

@@ -38,6 +38,12 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable restarts : int;
+  mutable learnts_made : int;
+  mutable core : int list;
+      (* after an Unsat answer under assumptions: the subset of the
+         assumption literals whose conjunction the clause database
+         refutes (empty when the database alone is unsatisfiable) *)
   mutable on_backtrack : int -> unit;
       (* invoked from cancel_until with the new trail size, so theory
          solvers can pop their assertion stacks in lock step *)
@@ -75,6 +81,9 @@ let create () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    restarts = 0;
+    learnts_made = 0;
+    core = [];
     on_backtrack = (fun (_ : int) -> ());
   }
 
@@ -83,6 +92,9 @@ let num_conflicts s = s.conflicts
 let num_decisions s = s.decisions
 let num_propagations s = s.propagations
 let num_clauses s = Vec.size s.clauses
+let num_restarts s = s.restarts
+let num_learnts s = s.learnts_made
+let unsat_core s = s.core
 
 (* -- variable order (binary max-heap on activity) ------------------------ *)
 
@@ -230,7 +242,9 @@ let attach s c =
   Vec.push s.watches.(c.lits.(1)) c
 
 let add_clause s lits =
-  assert (decision_level s = 0);
+  (* A previous Sat answer leaves its model on the trail; new clauses are
+     asserted at level 0, so undo it first. *)
+  if decision_level s > 0 then cancel_until s 0;
   if s.ok then begin
     (* Simplify: drop duplicate and false literals, detect tautologies and
        satisfied clauses.  All current assignments are at level 0. *)
@@ -411,6 +425,7 @@ let integrate_clause s lits =
   | _ :: _ :: _ ->
     let arr = Array.of_list lits in
     let c = { lits = arr; activity = 0.0; learnt = true; deleted = false } in
+    s.learnts_made <- s.learnts_made + 1;
     (* watch preference: true > unassigned > false by decreasing level *)
     let rank l =
       match lit_value s l with
@@ -446,6 +461,40 @@ let integrate_clause s lits =
         end
       | _ -> assert false
     done
+
+(* -- final conflict analysis (assumptions) ---------------------------------- *)
+
+(* [p] is an assumption literal found false under the current trail.
+   Walk the implication graph backwards from [p]'s variable and collect
+   the assumption literals that, together with the clause database,
+   imply [lit_neg p]: the returned list (which includes [p]) is an
+   unsat core over the assumptions.  Decisions above level 0 are
+   necessarily assumptions here, because assumptions occupy the first
+   decision levels and a normal decision is never made before all of
+   them are established. *)
+let analyze_final s p =
+  if decision_level s = 0 then [ p ]
+  else begin
+    let core = ref [ p ] in
+    s.seen.(lit_var p) <- true;
+    let bottom = Vec.get s.trail_lim 0 in
+    for i = Vec.size s.trail - 1 downto bottom do
+      let l = Vec.get s.trail i in
+      let v = lit_var l in
+      if s.seen.(v) then begin
+        (match s.reason.(v) with
+         | None -> core := l :: !core
+         | Some c ->
+           for k = 1 to Array.length c.lits - 1 do
+             let u = lit_var c.lits.(k) in
+             if s.level.(u) > 0 then s.seen.(u) <- true
+           done);
+        s.seen.(v) <- false
+      end
+    done;
+    s.seen.(lit_var p) <- false;
+    !core
+  end
 
 (* -- restarts -------------------------------------------------------------- *)
 
@@ -483,9 +532,36 @@ let decide s =
     true
   end
 
-let solve ?(final_check = fun (_ : t) -> []) ?(partial_check = fun (_ : t) -> [])
-    ?(partial_interval = 64) ?(on_backtrack = fun (_ : int) -> ()) s =
+let solve ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
+    ?(partial_check = fun (_ : t) -> []) ?(partial_interval = 64)
+    ?(on_backtrack = fun (_ : int) -> ()) s =
   s.on_backtrack <- on_backtrack;
+  (* A previous Sat answer leaves its model on the trail; start clean. *)
+  cancel_until s 0;
+  s.core <- [];
+  let assumps = Array.of_list assumptions in
+  let n_assumps = Array.length assumps in
+  (* Establish the next pending assumption as a decision.  Assumption
+     [i] owns decision level [i+1] (already-true assumptions get an
+     empty level), so they always precede normal decisions and
+     [analyze_final] can treat every decision above level 0 as an
+     assumption. *)
+  let rec pick_assumption () =
+    if decision_level s >= n_assumps then `Search
+    else begin
+      let p = assumps.(decision_level s) in
+      match lit_value s p with
+      | 1 ->
+        Vec.push s.trail_lim (Vec.size s.trail);
+        pick_assumption ()
+      | -1 -> `Failed p
+      | _ ->
+        s.decisions <- s.decisions + 1;
+        Vec.push s.trail_lim (Vec.size s.trail);
+        enqueue s p None;
+        `Propagate
+    end
+  in
   let restart_num = ref 0 in
   let conflicts_since_restart = ref 0 in
   let restart_limit = ref (100 * luby 0) in
@@ -512,6 +588,7 @@ let solve ?(final_check = fun (_ : t) -> []) ?(partial_check = fun (_ : t) -> []
              { lits = Array.of_list learnt; activity = 0.0; learnt = true; deleted = false }
            in
            cla_bump s c;
+           s.learnts_made <- s.learnts_made + 1;
            Vec.push s.learnts c;
            attach s c;
            enqueue s l (Some c));
@@ -531,25 +608,34 @@ let solve ?(final_check = fun (_ : t) -> []) ?(partial_check = fun (_ : t) -> []
     | None ->
       if !conflicts_since_restart >= !restart_limit then begin
         incr restart_num;
+        s.restarts <- s.restarts + 1;
         conflicts_since_restart := 0;
         restart_limit := 100 * luby !restart_num;
         cancel_until s 0
       end
-      else if Vec.size s.trail = s.nvars then begin
-        match final_check s with
-        | [] -> answer := Some Sat
-        | conflict_clauses ->
-          List.iter (fun c -> integrate_clause s c) conflict_clauses;
-          if not s.ok then answer := Some Unsat
-      end
       else begin
-        if float_of_int (Vec.size s.learnts) > s.max_learnts then begin
-          reduce_db s;
-          s.max_learnts <- s.max_learnts *. 1.3
-        end;
-        let made = decide s in
-        assert made;
-        incr since_partial
+        match pick_assumption () with
+        | `Failed p ->
+          s.core <- analyze_final s p;
+          answer := Some Unsat
+        | `Propagate -> ()
+        | `Search ->
+          if Vec.size s.trail = s.nvars then begin
+            match final_check s with
+            | [] -> answer := Some Sat
+            | conflict_clauses ->
+              List.iter (fun c -> integrate_clause s c) conflict_clauses;
+              if not s.ok then answer := Some Unsat
+          end
+          else begin
+            if float_of_int (Vec.size s.learnts) > s.max_learnts then begin
+              reduce_db s;
+              s.max_learnts <- s.max_learnts *. 1.3
+            end;
+            let made = decide s in
+            assert made;
+            incr since_partial
+          end
       end
   done;
   (match !answer with

@@ -1,12 +1,22 @@
 (** A CDCL SAT solver (two-watched literals, VSIDS, 1UIP learning,
-    Luby restarts, activity-based learnt-clause deletion).
+    Luby restarts, activity-based learnt-clause deletion), solvable
+    incrementally under assumptions (MiniSat style).
 
     Literals are integers: variable [v]'s positive literal is [2*v] and
     its negative literal is [2*v+1].  Variables are allocated with
     {!new_var} and clauses added with {!add_clause}; {!solve} then decides
     satisfiability.  A [final_check] callback supports lazy SMT: it runs
     whenever the solver reaches a full assignment and may veto it by
-    returning conflict clauses to learn. *)
+    returning conflict clauses to learn.
+
+    {!solve} may be called any number of times, interleaved with
+    {!new_var} and {!add_clause}; learnt clauses, variable activities
+    and saved phases persist across calls (learnt clauses are derived
+    from the clause database alone — never from assumptions, which are
+    retractable decisions — so reusing them is sound as the database
+    only grows).  Passing [~assumptions] decides the given literals
+    before any search decision; on [Unsat] caused by the assumptions,
+    {!unsat_core} names the guilty subset. *)
 
 type t
 
@@ -28,18 +38,28 @@ val lit_sign : int -> bool
 val lit_neg : int -> int
 
 val add_clause : t -> int list -> unit
-(** Add a clause (a disjunction of literals).  Must be called at decision
-    level 0, i.e. before {!solve} or from inside a [final_check]
-    callback return (the solver restarts itself in that case). *)
+(** Add a clause (a disjunction of literals).  If a previous {!solve}
+    left a satisfying trail, it is undone first: clauses are always
+    asserted at decision level 0. *)
 
 val solve :
+  ?assumptions:int list ->
   ?final_check:(t -> int list list) ->
   ?partial_check:(t -> int list list) ->
   ?partial_interval:int ->
   ?on_backtrack:(int -> unit) ->
   t ->
   result
-(** [final_check s] is invoked on every full propositional assignment.
+(** Decide satisfiability of the clause database, under the
+    [assumptions] literals if given.  Assumptions are decided (in
+    order) at the first decision levels and backtracking past them
+    re-establishes them, so they hold in any [Sat] answer but leave no
+    permanent trace: a later call is free to assume differently.  When
+    the database is satisfiable but contradicts the assumptions, the
+    answer is [Unsat] and {!unsat_core} reports a subset of the
+    assumptions that is jointly infeasible (final-conflict analysis).
+
+    [final_check s] is invoked on every full propositional assignment.
     Returning [[]] accepts the assignment ({!solve} answers [Sat]);
     returning conflict clauses (each must be false under the current
     assignment) forces the search to continue.
@@ -51,6 +71,12 @@ val solve :
     [on_backtrack n] fires whenever the trail is truncated to length
     [n] (backjumps and restarts), letting theory solvers pop their
     assertion stacks in lock step with the trail. *)
+
+val unsat_core : t -> int list
+(** After an [Unsat] answer from {!solve} with assumptions: the subset
+    of the assumption literals whose conjunction is refuted by the
+    clause database (it includes the assumption found false).  Empty
+    when the database alone is unsatisfiable. *)
 
 val value_var : t -> int -> bool
 (** Value of a variable in the current (full) assignment.  Meaningful
@@ -66,6 +92,14 @@ val num_conflicts : t -> int
 val num_decisions : t -> int
 val num_propagations : t -> int
 val num_clauses : t -> int
+
+val num_restarts : t -> int
+(** Restarts performed, accumulated over every {!solve} call. *)
+
+val num_learnts : t -> int
+(** Learnt clauses created (conflict analysis and integrated theory
+    lemmas), accumulated over every {!solve} call; deletion by the
+    clause-database reduction does not decrease it. *)
 
 val trail_size : t -> int
 (** Current length of the assignment trail (theory-integration use). *)

@@ -1,4 +1,11 @@
-type t = { cnf : Cnf.t; mutable theory_rounds : int; mutable checked : bool }
+type t = {
+  cnf : Cnf.t;
+  incremental : bool;
+  mutable theory_rounds : int;
+  mutable checks : int;
+  mutable last_core : Term.t list;
+}
+
 type result = Sat of Model.t | Unsat
 
 type stats = {
@@ -7,17 +14,35 @@ type stats = {
   conflicts : int;
   decisions : int;
   propagations : int;
+  restarts : int;
+  learned_clauses : int;
   theory_rounds : int;
+  checks : int;
 }
 
-let create () = { cnf = Cnf.create (); theory_rounds = 0; checked = false }
-let assert_term s term = Cnf.assert_term s.cnf term
+let create ?(incremental = false) () =
+  { cnf = Cnf.create (); incremental; theory_rounds = 0; checks = 0; last_core = [] }
 
-let check s =
-  if s.checked then invalid_arg "Solver.check: solver already used";
-  s.checked <- true;
+let assert_term s term = Cnf.assert_term s.cnf term
+let assert_implied s ~guard term = Cnf.assert_implied s.cnf ~guard term
+let unsat_core s = s.last_core
+
+let check ?(assumptions = []) s =
+  if (not s.incremental) && s.checks > 0 then
+    invalid_arg
+      "Solver.check: single-shot solver already used (its theory state is stale); create the \
+       solver with ~incremental:true to run several checks against one formula";
+  s.checks <- s.checks + 1;
+  s.last_core <- [];
   let c = s.cnf in
+  (* Convert assumption terms first: conversion may allocate variables
+     and clauses, which must precede the theory tables built below. *)
+  let assumption_lits = List.map (fun t -> (Cnf.lit_of c t, t)) assumptions in
   let sat = Cnf.sat c in
+  (* The theory solvers are rebuilt on every check, sized to the atoms
+     registered so far: terms asserted between checks may add theory
+     variables and atoms.  Amortization lives in the SAT core (clause
+     database, learnt clauses, activities) and in the CNF cache. *)
   let zero = Cnf.num_int_vars c in
   let rat_atoms = Array.of_list (Cnf.rat_atoms c) in
   let simplex =
@@ -111,8 +136,18 @@ let check s =
     Idl_inc.backtrack idl ~trail_size:n;
     if !theory_pos > n then theory_pos := n
   in
-  match Sat.solve ~final_check ~partial_check ~partial_interval:1 ~on_backtrack sat with
-  | Sat.Unsat -> Unsat
+  match
+    Sat.solve
+      ~assumptions:(List.map fst assumption_lits)
+      ~final_check ~partial_check ~partial_interval:1 ~on_backtrack sat
+  with
+  | Sat.Unsat ->
+    let core = Sat.unsat_core sat in
+    s.last_core <-
+      List.filter_map
+        (fun (l, t) -> if List.mem l core then Some t else None)
+        assumption_lits;
+    Unsat
   | Sat.Sat ->
     let bools = List.map (fun (t, l) -> (t, Sat.value_lit sat l)) (Cnf.bool_var_lits c) in
     let dist = !int_model in
@@ -151,5 +186,8 @@ let stats s =
     conflicts = Sat.num_conflicts sat;
     decisions = Sat.num_decisions sat;
     propagations = Sat.num_propagations sat;
+    restarts = Sat.num_restarts sat;
+    learned_clauses = Sat.num_learnts sat;
     theory_rounds = s.theory_rounds;
+    checks = s.checks;
   }

@@ -2,9 +2,21 @@
     difference-logic and linear-rational theory solvers, plus eager
     bit-blasting for bit-vector terms.
 
-    Usage: {!create}, {!assert_term} any number of Boolean terms, then
-    {!check} once.  [check] answers for the conjunction of everything
-    asserted. *)
+    Single-shot usage: {!create}, {!assert_term} any number of Boolean
+    terms, then {!check} once ([check] answers for the conjunction of
+    everything asserted; a second call raises [Invalid_argument]).
+
+    Incremental usage: {!create} [~incremental:true], then interleave
+    {!assert_term} / {!assert_implied} and {!check} freely.  The
+    propositional state (CNF cache, learnt clauses, variable
+    activities, saved phases) is retained across checks, so a suite of
+    queries against one large formula amortizes the search; terms
+    converted for an earlier check are deduplicated by the CNF cache.
+    The theory solvers are backtracked to level 0 and re-seeded on each
+    call (their atoms keep their SAT variables, so theory lemmas learnt
+    as clauses also carry over).  Assumptions make queries retractable:
+    guard a query's assertions behind a fresh activation variable with
+    {!assert_implied} and pass the variable to {!check}. *)
 
 type t
 
@@ -12,18 +24,41 @@ type result = Sat of Model.t | Unsat
 
 type stats = {
   sat_vars : int;
-  sat_clauses : int;
+  sat_clauses : int;  (** problem clauses (excludes learnt clauses) *)
   conflicts : int;
   decisions : int;
   propagations : int;
-  theory_rounds : int;  (** number of final theory checks performed *)
+  restarts : int;
+  learned_clauses : int;  (** learnt clauses created, incl. theory lemmas *)
+  theory_rounds : int;  (** number of theory conflicts raised *)
+  checks : int;  (** {!check} calls answered so far *)
 }
+(** Counters accumulate across every {!check} of an incremental
+    solver; they are never reset. *)
 
-val create : unit -> t
+val create : ?incremental:bool -> unit -> t
+(** [incremental] (default [false]) allows any number of {!check}
+    calls, interleaved with new assertions. *)
+
 val assert_term : t -> Term.t -> unit
 
-val check : t -> result
-(** Decide the asserted conjunction.  May be called once per solver. *)
+val assert_implied : t -> guard:Term.t -> Term.t -> unit
+(** [assert_implied s ~guard t] asserts [guard => t].  With [guard] a
+    fresh Boolean variable, pass it to {!check} as an assumption to
+    enable the assertion for that call only; assert its negation to
+    retire it permanently. *)
+
+val check : ?assumptions:Term.t list -> t -> result
+(** Decide the asserted conjunction, under the given Boolean
+    [assumptions] (default none).  On a non-incremental solver a second
+    call raises [Invalid_argument].
+    @raise Invalid_argument on the second check of a single-shot solver. *)
+
+val unsat_core : t -> Term.t list
+(** After {!check} returned [Unsat] under assumptions: a subset of the
+    assumption terms that is already inconsistent with the asserted
+    formula.  Empty when the formula alone is unsatisfiable (or when
+    the last check answered [Sat]). *)
 
 val check_term : Term.t -> result
 (** One-shot convenience: a fresh solver asserting a single term. *)

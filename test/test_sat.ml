@@ -96,6 +96,70 @@ let test_final_check_unsat () =
   in
   Alcotest.check result "unsat" S.Unsat (S.solve ~final_check s)
 
+(* --- assumptions and incremental reuse ------------------------------------- *)
+
+let test_assumptions_basic () =
+  let s = S.create () in
+  let v = fresh_vars s 2 in
+  S.add_clause s [ S.pos_lit v.(0); S.pos_lit v.(1) ];
+  (* Satisfiable alone and under one-sided assumptions... *)
+  Alcotest.check result "free" S.Sat (S.solve s);
+  Alcotest.check result "assume ~v0" S.Sat (S.solve ~assumptions:[ S.neg_lit v.(0) ] s);
+  Alcotest.(check bool) "v1 forced" true (S.value_var s v.(1));
+  (* ...but not when both disjuncts are assumed away. *)
+  Alcotest.check result "assume ~v0 ~v1" S.Unsat
+    (S.solve ~assumptions:[ S.neg_lit v.(0); S.neg_lit v.(1) ] s);
+  let core = S.unsat_core s in
+  Alcotest.(check bool) "core nonempty" true (core <> []);
+  List.iter
+    (fun l ->
+      if not (List.mem l [ S.neg_lit v.(0); S.neg_lit v.(1) ]) then
+        Alcotest.failf "core literal %d is not an assumption" l)
+    core;
+  (* The solver is still usable, and not poisoned by the failed call. *)
+  Alcotest.check result "free again" S.Sat (S.solve s)
+
+let test_assumptions_contradictory () =
+  let s = S.create () in
+  let v = fresh_vars s 2 in
+  S.add_clause s [ S.pos_lit v.(0); S.pos_lit v.(1) ];
+  Alcotest.check result "p and ~p" S.Unsat
+    (S.solve ~assumptions:[ S.pos_lit v.(0); S.neg_lit v.(0) ] s);
+  let core = List.sort compare (S.unsat_core s) in
+  Alcotest.(check (list int)) "core is the pair" [ S.pos_lit v.(0); S.neg_lit v.(0) ] core
+
+let test_assumption_false_at_level0 () =
+  let s = S.create () in
+  let v = fresh_vars s 1 in
+  S.add_clause s [ S.neg_lit v.(0) ];
+  Alcotest.check result "forced false" S.Unsat (S.solve ~assumptions:[ S.pos_lit v.(0) ] s);
+  Alcotest.(check (list int)) "core singleton" [ S.pos_lit v.(0) ] (S.unsat_core s)
+
+let test_incremental_clause_growth () =
+  (* Enumerate all models of "at least one of 3" by excluding each model
+     found, exercising solve / add_clause interleaving. *)
+  let s = S.create () in
+  let v = fresh_vars s 3 in
+  S.add_clause s [ S.pos_lit v.(0); S.pos_lit v.(1); S.pos_lit v.(2) ];
+  let count = ref 0 in
+  while S.solve s = S.Sat do
+    incr count;
+    if !count > 7 then Alcotest.fail "more models than assignments";
+    S.add_clause s
+      (List.init 3 (fun i -> if S.value_var s v.(i) then S.neg_lit v.(i) else S.pos_lit v.(i)))
+  done;
+  Alcotest.(check int) "7 models" 7 !count
+
+let test_unsat_is_permanent () =
+  let s = S.create () in
+  let v = fresh_vars s 1 in
+  S.add_clause s [ S.pos_lit v.(0) ];
+  S.add_clause s [ S.neg_lit v.(0) ];
+  Alcotest.check result "unsat" S.Unsat (S.solve s);
+  Alcotest.(check (list int)) "no core: formula itself unsat" [] (S.unsat_core s);
+  Alcotest.check result "still unsat under assumptions" S.Unsat
+    (S.solve ~assumptions:[ S.pos_lit v.(0) ] s)
+
 (* --- differential testing against brute force ----------------------------- *)
 
 let brute_force nvars clauses =
@@ -148,6 +212,80 @@ let prop_matches_brute_force =
                c)
            clauses)
 
+(* --- differential testing of assumption-based solving ---------------------- *)
+
+(* One incremental solver answering a sequence of assumption sets must
+   agree with a fresh solver given the assumptions as unit clauses, and
+   every unsat core must itself be unsatisfiable with the formula. *)
+let cnf_with_assumptions_gen =
+  let open QCheck.Gen in
+  let nvars = 8 in
+  let lit = map2 (fun v neg -> (2 * v) + if neg then 1 else 0) (int_range 0 (nvars - 1)) bool in
+  let clause = list_size (int_range 1 3) lit in
+  let cnf = list_size (int_range 1 40) clause in
+  let assumption_set = list_size (int_range 0 5) lit in
+  map3
+    (fun clauses a1 a2 -> (nvars, clauses, a1, a2))
+    cnf assumption_set assumption_set
+
+let fresh_result nvars clauses units =
+  let s = S.create () in
+  let v = fresh_vars s nvars in
+  let tr l = if l land 1 = 1 then S.neg_lit v.(l / 2) else S.pos_lit v.(l / 2) in
+  List.iter (fun c -> S.add_clause s (List.map tr c)) clauses;
+  List.iter (fun l -> S.add_clause s [ tr l ]) units;
+  S.solve s
+
+let prop_assumptions_match_fresh =
+  QCheck.Test.make ~name:"assumption solving matches fresh solver with units" ~count:300
+    (QCheck.make cnf_with_assumptions_gen)
+    (fun (nvars, clauses, a1, a2) ->
+      let s = S.create () in
+      let v = fresh_vars s nvars in
+      let tr l = if l land 1 = 1 then S.neg_lit v.(l / 2) else S.pos_lit v.(l / 2) in
+      List.iter (fun c -> S.add_clause s (List.map tr c)) clauses;
+      (* The same incremental solver answers three queries in a row. *)
+      List.iteri
+        (fun round assumptions ->
+          let got = S.solve ~assumptions:(List.map tr assumptions) s in
+          let expected = fresh_result nvars clauses assumptions in
+          if got <> expected then
+            QCheck.Test.fail_reportf "round %d: incremental=%s fresh=%s" round
+              (match got with S.Sat -> "sat" | S.Unsat -> "unsat")
+              (match expected with S.Sat -> "sat" | S.Unsat -> "unsat");
+          (match got with
+           | S.Sat ->
+             (* Model satisfies the clauses and every assumption. *)
+             List.iter
+               (fun c ->
+                 if not (List.exists (fun l -> S.value_lit s (tr l)) c) then
+                   QCheck.Test.fail_reportf "round %d: clause unsatisfied" round)
+               clauses;
+             List.iter
+               (fun l ->
+                 if not (S.value_lit s (tr l)) then
+                   QCheck.Test.fail_reportf "round %d: assumption unsatisfied" round)
+               assumptions
+           | S.Unsat ->
+             let core = S.unsat_core s in
+             (* Core literals are assumption literals... *)
+             List.iter
+               (fun cl ->
+                 if not (List.exists (fun l -> tr l = cl) assumptions) then
+                   QCheck.Test.fail_reportf "round %d: core literal not assumed" round)
+               core;
+             (* ...and the core alone (as units) is still unsatisfiable.
+                Variables are allocated contiguously from 0 in both
+                solvers, so core literals transfer verbatim. *)
+             let s2 = S.create () in
+             let _ = fresh_vars s2 nvars in
+             List.iter (fun c -> S.add_clause s2 (List.map tr c)) clauses;
+             List.iter (fun cl -> S.add_clause s2 [ cl ]) core;
+             if S.solve s2 <> S.Unsat then
+               QCheck.Test.fail_reportf "round %d: unsat core is not a core" round))
+        [ a1; a2; a1 ];
+      true)
+
 let () =
   Alcotest.run "sat"
     [
@@ -161,6 +299,15 @@ let () =
           Alcotest.test_case "implication chain" `Quick test_chain_implications;
           Alcotest.test_case "final_check veto" `Quick test_final_check_veto;
           Alcotest.test_case "final_check unsat" `Quick test_final_check_unsat;
+          Alcotest.test_case "assumptions basic" `Quick test_assumptions_basic;
+          Alcotest.test_case "assumptions contradictory" `Quick test_assumptions_contradictory;
+          Alcotest.test_case "assumption false at level 0" `Quick test_assumption_false_at_level0;
+          Alcotest.test_case "incremental clause growth" `Quick test_incremental_clause_growth;
+          Alcotest.test_case "unsat is permanent" `Quick test_unsat_is_permanent;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_matches_brute_force ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_matches_brute_force;
+          QCheck_alcotest.to_alcotest prop_assumptions_match_fresh;
+        ] );
     ]

@@ -1,0 +1,162 @@
+(* Differential tests for incremental verification sessions: on
+   generated enterprise and fattree networks, Verify.Session.check_all
+   must produce exactly the verdicts of independent per-query
+   Verify.verify calls, and the counterexamples it decodes must be
+   well-formed forwarding states of the same encoding. *)
+
+module MS = Minesweeper
+module G = Generators
+module A = Config.Ast
+
+let verdict = function MS.Verify.Holds -> "holds" | MS.Verify.Violation _ -> "violated"
+
+(* Every forwarding edge of a decoded counterexample must be a next-hop
+   the encoding actually offers (internal edges point at model
+   neighbors; named hops exist on the device). *)
+let check_cx_valid enc (cx : MS.Counterexample.t) =
+  List.iter
+    (fun (d, hop) ->
+      if not (List.mem d (MS.Encode.devices enc)) then
+        Alcotest.failf "counterexample forwards at unknown device %s" d;
+      (match hop with
+       | MS.Nexthop.To_device n ->
+         if not (List.mem n (MS.Encode.internal_neighbors enc d)) then
+           Alcotest.failf "counterexample edge %s -> %s is not in the model" d n
+       | _ -> ());
+      if not (List.mem hop (MS.Encode.hops enc d)) then
+        Alcotest.failf "counterexample hop at %s is not offered by the encoding" d)
+    cx.MS.Counterexample.forwarding
+
+let differential name net (props : (string * (MS.Encode.t -> MS.Property.t)) list) =
+  let opts = MS.Options.default in
+  (* Baseline: one fresh encoding and one fresh single-shot solver per
+     query, exactly what a cold Verify.verify does. *)
+  let baseline = List.map (fun (_, make) -> MS.Verify.verify net opts make) props in
+  (* Session: one encoding, one incremental solver, all queries. *)
+  let session = MS.Verify.Session.create net opts in
+  let outcomes = MS.Verify.Session.check_all session (List.map snd props) in
+  let enc = MS.Verify.Session.encoding session in
+  Alcotest.(check int)
+    (name ^ ": query count")
+    (List.length props)
+    (MS.Verify.Session.queries session);
+  List.iteri
+    (fun i ((pname, _), (base, sess)) ->
+      if verdict base <> verdict sess then
+        Alcotest.failf "%s: %s (query %d): fresh solver says %s, session says %s" name pname i
+          (verdict base) (verdict sess);
+      match sess with
+      | MS.Verify.Holds -> ()
+      | MS.Verify.Violation cx -> check_cx_valid enc cx)
+    (List.combine props (List.combine baseline outcomes))
+
+(* ---- enterprise fleet samples, one per injected violation class ---- *)
+
+let enterprise_props (t : G.Enterprise.t) =
+  let net = t.G.Enterprise.network in
+  let devices = List.map (fun (d : A.device) -> d.A.dev_name) net.A.net_devices in
+  let target = List.hd (List.rev devices) in
+  let mgmt_dest = MS.Property.Subnet (target, t.G.Enterprise.mgmt_prefix target) in
+  let allowed = t.G.Enterprise.edge_routers @ t.G.Enterprise.rack_role in
+  let base =
+    [
+      ( "mgmt-reachability",
+        fun enc -> MS.Property.reachability enc ~sources:devices mgmt_dest );
+      ("no-blackholes", fun enc -> MS.Property.no_blackholes enc ~allowed ());
+      ("no-loops", fun enc -> MS.Property.no_loops enc ());
+    ]
+  in
+  match t.G.Enterprise.rack_role with
+  | r1 :: r2 :: _ ->
+    base @ [ ("acl-equivalence", fun enc -> MS.Property.acl_equivalence enc r1 r2) ]
+  | _ -> base
+
+let test_enterprise_clean () =
+  let t = G.Enterprise.make ~seed:3 ~routers:8 ~inject:G.Enterprise.no_bugs () in
+  differential "enterprise clean" t.G.Enterprise.network (enterprise_props t)
+
+let test_enterprise_hijack () =
+  let t =
+    G.Enterprise.make ~seed:5 ~routers:8
+      ~inject:{ G.Enterprise.hijack = true; acl_gap = false; deep_drop = false }
+      ()
+  in
+  differential "enterprise hijack" t.G.Enterprise.network (enterprise_props t)
+
+let test_enterprise_acl_gap () =
+  let t =
+    G.Enterprise.make ~seed:7 ~routers:8
+      ~inject:{ G.Enterprise.hijack = false; acl_gap = true; deep_drop = false }
+      ()
+  in
+  differential "enterprise acl-gap" t.G.Enterprise.network (enterprise_props t)
+
+let test_enterprise_deep_drop () =
+  let t =
+    G.Enterprise.make ~seed:11 ~routers:8
+      ~inject:{ G.Enterprise.hijack = false; acl_gap = false; deep_drop = true }
+      ()
+  in
+  differential "enterprise deep-drop" t.G.Enterprise.network (enterprise_props t)
+
+(* ---- fattree ---- *)
+
+let test_fattree () =
+  let ft = G.Fattree.make ~pods:2 in
+  let net = ft.G.Fattree.network in
+  let dst_tor = List.hd ft.G.Fattree.tors in
+  let other_tors = List.filter (fun t -> t <> dst_tor) ft.G.Fattree.tors in
+  let dest = MS.Property.Subnet (dst_tor, ft.G.Fattree.tor_subnet dst_tor) in
+  differential "fattree pods=2" net
+    [
+      ( "single-tor-reachability",
+        fun enc -> MS.Property.reachability enc ~sources:[ List.hd other_tors ] dest );
+      ( "all-tor-reachability",
+        fun enc -> MS.Property.reachability enc ~sources:other_tors dest );
+      ( "bounded-length",
+        fun enc -> MS.Property.bounded_length enc ~sources:other_tors dest ~bound:4 );
+      ("multipath-consistency", fun enc -> MS.Property.multipath_consistency enc dest);
+      ( "no-blackholes",
+        fun enc -> MS.Property.no_blackholes enc ~allowed:ft.G.Fattree.cores () );
+      ( "isolation-should-fail",
+        fun enc -> MS.Property.isolation enc ~sources:[ List.hd other_tors ] dest );
+    ]
+
+(* Re-running the same suite twice through one session must not change
+   any verdict: the retired activation literals of earlier queries must
+   leave no semantic trace. *)
+let test_session_idempotent () =
+  let ft = G.Fattree.make ~pods:2 in
+  let net = ft.G.Fattree.network in
+  let dst_tor = List.hd ft.G.Fattree.tors in
+  let other_tors = List.filter (fun t -> t <> dst_tor) ft.G.Fattree.tors in
+  let dest = MS.Property.Subnet (dst_tor, ft.G.Fattree.tor_subnet dst_tor) in
+  let props =
+    [
+      (fun enc -> MS.Property.reachability enc ~sources:other_tors dest);
+      (fun enc -> MS.Property.isolation enc ~sources:other_tors dest);
+    ]
+  in
+  let session = MS.Verify.Session.create net MS.Options.default in
+  let first = MS.Verify.Session.check_all session props in
+  let second = MS.Verify.Session.check_all session props in
+  List.iteri
+    (fun i (a, b) ->
+      if verdict a <> verdict b then
+        Alcotest.failf "query %d changed verdict across repetitions: %s then %s" i (verdict a)
+          (verdict b))
+    (List.combine first second)
+
+let () =
+  Alcotest.run "session"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "enterprise clean" `Quick test_enterprise_clean;
+          Alcotest.test_case "enterprise hijack" `Quick test_enterprise_hijack;
+          Alcotest.test_case "enterprise acl-gap" `Quick test_enterprise_acl_gap;
+          Alcotest.test_case "enterprise deep-drop" `Quick test_enterprise_deep_drop;
+          Alcotest.test_case "fattree pods=2" `Quick test_fattree;
+        ] );
+      ("idempotence", [ Alcotest.test_case "repeat suite" `Quick test_session_idempotent ]);
+    ]

@@ -311,6 +311,108 @@ let prop_excluded_middle =
   QCheck.Test.make ~name:"f or not f is sat" ~count:200 (QCheck.make term_gen)
     (fun term -> is_sat (T.or_ [ term; T.not_ term ]))
 
+(* -- incremental solving -------------------------------------------------------- *)
+
+let test_single_shot_hardening () =
+  let a = T.var "ssh_a" Sort.Bool in
+  let s = Solver.create () in
+  Solver.assert_term s a;
+  (match Solver.check s with Solver.Sat _ -> () | Solver.Unsat -> Alcotest.fail "expected sat");
+  (try
+     ignore (Solver.check s);
+     Alcotest.fail "second check on a single-shot solver must raise"
+   with Invalid_argument _ -> ())
+
+let test_incremental_checks () =
+  let a = T.var "inc_a" Sort.Bool and b = T.var "inc_b" Sort.Bool in
+  let s = Solver.create ~incremental:true () in
+  Solver.assert_term s (T.or_ [ a; b ]);
+  (match Solver.check s with Solver.Sat _ -> () | Solver.Unsat -> Alcotest.fail "sat 1");
+  Solver.assert_term s (T.not_ a);
+  (match Solver.check s with
+   | Solver.Sat m -> Alcotest.(check bool) "b forced" true (Model.bool_value m b)
+   | Solver.Unsat -> Alcotest.fail "sat 2");
+  Solver.assert_term s (T.not_ b);
+  (match Solver.check s with
+   | Solver.Sat _ -> Alcotest.fail "expected unsat"
+   | Solver.Unsat -> ())
+
+let test_incremental_assumptions () =
+  let a = T.var "ia_a" Sort.Bool and b = T.var "ia_b" Sort.Bool in
+  let s = Solver.create ~incremental:true () in
+  Solver.assert_term s (T.or_ [ a; b ]);
+  (match Solver.check ~assumptions:[ T.not_ a ] s with
+   | Solver.Sat m -> Alcotest.(check bool) "b forced under ~a" true (Model.bool_value m b)
+   | Solver.Unsat -> Alcotest.fail "sat under ~a");
+  (match Solver.check ~assumptions:[ T.not_ a; T.not_ b ] s with
+   | Solver.Sat _ -> Alcotest.fail "expected unsat under ~a,~b"
+   | Solver.Unsat ->
+     let core = Solver.unsat_core s in
+     Alcotest.(check bool) "core nonempty" true (core <> []);
+     List.iter
+       (fun t ->
+         if not (List.exists (T.equal t) [ T.not_ a; T.not_ b ]) then
+           Alcotest.fail "core term is not an assumption")
+       core);
+  (* assumptions leave no trace *)
+  match Solver.check s with
+  | Solver.Sat _ -> ()
+  | Solver.Unsat -> Alcotest.fail "sat without assumptions"
+
+let test_activation_literals () =
+  (* Two contradictory queries against one shared formula, each guarded
+     by its own activation literal — the Session pattern. *)
+  let x = ivar "al_x" in
+  let act1 = T.var "al_act1" Sort.Bool and act2 = T.var "al_act2" Sort.Bool in
+  let s = Solver.create ~incremental:true () in
+  Solver.assert_term s (T.and_ [ T.leq (T.int_const 0) x; T.leq x (T.int_const 10) ]);
+  Solver.assert_implied s ~guard:act1 (T.leq x (T.int_const ~-1));
+  (match Solver.check ~assumptions:[ act1 ] s with
+   | Solver.Sat _ -> Alcotest.fail "query 1 should be unsat"
+   | Solver.Unsat ->
+     Alcotest.(check bool) "core is act1" true
+       (List.exists (T.equal act1) (Solver.unsat_core s)));
+  Solver.assert_term s (T.not_ act1);
+  Solver.assert_implied s ~guard:act2 (T.leq (T.int_const 5) x);
+  (match Solver.check ~assumptions:[ act2 ] s with
+   | Solver.Sat m ->
+     let v = Model.int_value m x in
+     if v < 5 || v > 10 then Alcotest.failf "model x=%d outside [5,10]" v
+   | Solver.Unsat -> Alcotest.fail "query 2 should be sat")
+
+let test_incremental_theory () =
+  (* New difference atoms and theory variables appearing between checks. *)
+  let x = ivar "it_x" and y = ivar "it_y" and z = ivar "it_z" in
+  let s = Solver.create ~incremental:true () in
+  Solver.assert_term s (T.leq (T.sub x y) (T.int_const ~-1));
+  (match Solver.check s with
+   | Solver.Sat m ->
+     Alcotest.(check bool) "x < y" true (Model.int_value m x < Model.int_value m y)
+   | Solver.Unsat -> Alcotest.fail "sat 1");
+  Solver.assert_term s (T.leq (T.sub y z) (T.int_const ~-1));
+  (match Solver.check s with
+   | Solver.Sat m ->
+     Alcotest.(check bool) "x < y < z" true
+       (Model.int_value m x < Model.int_value m y && Model.int_value m y < Model.int_value m z)
+   | Solver.Unsat -> Alcotest.fail "sat 2");
+  Solver.assert_term s (T.leq (T.sub z x) (T.int_const ~-1));
+  match Solver.check s with
+  | Solver.Sat _ -> Alcotest.fail "cycle should be unsat"
+  | Solver.Unsat -> ()
+
+let test_stats_accumulate () =
+  let a = T.var "sa_a" Sort.Bool and b = T.var "sa_b" Sort.Bool in
+  let s = Solver.create ~incremental:true () in
+  Solver.assert_term s (T.or_ [ a; b ]);
+  ignore (Solver.check s);
+  let st1 = Solver.stats s in
+  ignore (Solver.check ~assumptions:[ T.not_ a ] s);
+  let st2 = Solver.stats s in
+  Alcotest.(check int) "checks counted" 2 st2.Solver.checks;
+  Alcotest.(check bool) "decisions monotone" true (st2.Solver.decisions >= st1.Solver.decisions);
+  Alcotest.(check bool) "restarts present" true (st2.Solver.restarts >= 0);
+  Alcotest.(check bool) "learned present" true (st2.Solver.learned_clauses >= 0)
+
 let () =
   Alcotest.run "smt"
     [
@@ -347,6 +449,15 @@ let () =
           Alcotest.test_case "exactly" `Quick test_exactly;
         ] );
       ("mixed", [ Alcotest.test_case "bool+idl+lra" `Quick test_mixed ]);
+      ( "incremental",
+        [
+          Alcotest.test_case "single-shot hardening" `Quick test_single_shot_hardening;
+          Alcotest.test_case "re-entrant checks" `Quick test_incremental_checks;
+          Alcotest.test_case "assumptions + unsat core" `Quick test_incremental_assumptions;
+          Alcotest.test_case "activation literals" `Quick test_activation_literals;
+          Alcotest.test_case "theory across checks" `Quick test_incremental_theory;
+          Alcotest.test_case "stats accumulate" `Quick test_stats_accumulate;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_idl_matches_brute; prop_model_evaluates_true; prop_excluded_middle ] );
