@@ -1,9 +1,12 @@
 # Convenience targets; `make check` is the full local gate: build,
-# test suite, a lint pass over every example configuration, and the
+# test suite, a lint pass over every example configuration, the
 # batch-verification smoke benchmark (one incremental session must
-# beat N fresh solvers with identical verdicts).
+# beat N fresh solvers with identical verdicts), and the parallel
+# smoke benchmark (sharded -j2 run must agree with the sequential
+# session on every verdict, and beat it by >=1.3x when the machine
+# has at least 2 cores).
 
-.PHONY: all build test lint bench-smoke check clean
+.PHONY: all build test lint bench-smoke bench-parallel-smoke check clean
 
 all: build
 
@@ -22,7 +25,10 @@ lint: build
 bench-smoke: build
 	dune exec bench/main.exe -- batch --smoke
 
-check: build test lint bench-smoke
+bench-parallel-smoke: build
+	dune exec bench/main.exe -- parallel --smoke
+
+check: build test lint bench-smoke bench-parallel-smoke
 
 clean:
 	dune clean

@@ -97,8 +97,41 @@ let verify_cmd =
              (per-destination reachability from every other device). Example: \
              $(b,--batch reachability,blackholes,loops) or $(b,--batch all-pairs).")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Shard the query suite across $(docv) worker processes, each running its shard on \
+             its own incremental session. Results are reported in query order regardless of \
+             completion order; 1 (the default) answers everything in-process.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-query wall-clock budget. A query past its budget is cancelled and reported \
+             as $(b,timeout) (exit status 3); the remaining queries still run.")
+  in
+  let portfolio =
+    Arg.(
+      value & flag
+      & info [ "portfolio" ]
+          ~doc:
+            "Race the solver-strategy portfolio (restart cadence, activity decay, branching \
+             polarity variants) on each query, one process per strategy, and keep the first \
+             decisive answer. Useful for one hard query; ignores $(b,--jobs).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format"; "f" ] ~doc:"Output format: text or json.")
+  in
   let run file property sources dst_device dst_prefix bound devices max_len failures naive slice
-        no_lint allowed batch =
+        no_lint allowed batch jobs timeout portfolio format =
     let net = load_network file in
     let opts = opts_of ~slice naive failures in
     let opts = if no_lint then { opts with MS.Options.preflight_lint = false } else opts in
@@ -157,70 +190,91 @@ let verify_cmd =
             end)
           all_devices
     in
-    match batch with
-    | None ->
-      let prop = (snd (List.hd (queries_of property))) enc in
-      (match MS.Verify.check_with_stats enc prop with
-       | MS.Verify.Holds, st ->
-         Printf.printf "verified (SAT vars %d, clauses %d, conflicts %d)\n" st.Smt.Solver.sat_vars
-           st.sat_clauses st.conflicts;
-         exit 0
-       | MS.Verify.Violation cx, _ ->
-         print_endline "VIOLATED - counterexample:";
-         print_string (MS.Counterexample.to_string cx);
-         exit 1)
-    | Some names ->
-      let parse name =
-        match name with
-        | "reachability" -> `Reachability
-        | "isolation" -> `Isolation
-        | "bounded-length" -> `Bounded
-        | "blackholes" -> `Blackholes
-        | "loops" -> `Loops
-        | "multipath-consistency" -> `Multipath
-        | "acl-equivalence" -> `Acl_equiv
-        | "local-equivalence" -> `Local_equiv
-        | "no-leak" -> `Leak
-        | "all-pairs" -> `All_pairs
-        | other ->
-          Printf.eprintf "unknown batch property %s\n" other;
-          exit 2
-      in
-      let queries = List.concat_map (fun n -> queries_of (parse n)) names in
-      if queries = [] then begin
-        prerr_endline "empty batch";
+    let parse name =
+      match name with
+      | "reachability" -> `Reachability
+      | "isolation" -> `Isolation
+      | "bounded-length" -> `Bounded
+      | "blackholes" -> `Blackholes
+      | "loops" -> `Loops
+      | "multipath-consistency" -> `Multipath
+      | "acl-equivalence" -> `Acl_equiv
+      | "local-equivalence" -> `Local_equiv
+      | "no-leak" -> `Leak
+      | "all-pairs" -> `All_pairs
+      | other ->
+        Printf.eprintf "unknown batch property %s\n" other;
         exit 2
-      end;
-      let session = MS.Verify.Session.of_encoding enc in
-      let t0 = Unix.gettimeofday () in
-      let violations = ref 0 in
-      List.iter
-        (fun (label, make) ->
-          let q0 = Unix.gettimeofday () in
-          let outcome = MS.Verify.Session.check session (make enc) in
-          let ms = (Unix.gettimeofday () -. q0) *. 1000.0 in
-          match outcome with
-          | MS.Verify.Holds -> Printf.printf "  %-36s verified  %8.1f ms\n%!" label ms
-          | MS.Verify.Violation cx ->
-            incr violations;
-            Printf.printf "  %-36s VIOLATED  %8.1f ms\n%!" label ms;
-            print_string (MS.Counterexample.to_string cx))
-        queries;
-      let total_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
-      let st = MS.Verify.Session.stats session in
-      Printf.printf
-        "%d queries in %.1f ms (%.1f ms/query amortized; %d conflicts, %d learned clauses, %d \
-         restarts)\n"
-        (MS.Verify.Session.queries session)
-        total_ms
-        (total_ms /. float_of_int (max 1 (MS.Verify.Session.queries session)))
-        st.Smt.Solver.conflicts st.Smt.Solver.learned_clauses st.Smt.Solver.restarts;
-      exit (if !violations > 0 then 1 else 0)
+    in
+    let queries =
+      let named =
+        match batch with
+        | None -> queries_of property
+        | Some names -> List.concat_map (fun n -> queries_of (parse n)) names
+      in
+      List.map (fun (label, make) -> MS.Verify.Query.v label make) named
+    in
+    if queries = [] then begin
+      prerr_endline "empty batch";
+      exit 2
+    end;
+    let t0 = Unix.gettimeofday () in
+    let reports =
+      if portfolio then List.map (fun q -> Engine.portfolio ?timeout enc q) queries
+      else Engine.run ~jobs ?timeout enc queries
+    in
+    let total_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let code = MS.Verify.Report.exit_code reports in
+    (match format with
+     | `Json -> print_endline (MS.Verify.Report.list_to_json reports)
+     | `Text ->
+       let count p = List.length (List.filter p reports) in
+       List.iter
+         (fun (r : MS.Verify.Report.t) ->
+           let display =
+             match r.MS.Verify.Report.verdict with
+             | MS.Verify.Report.Verified -> "verified"
+             | MS.Verify.Report.Violated _ -> "VIOLATED"
+             | MS.Verify.Report.Timeout -> "TIMEOUT"
+             | MS.Verify.Report.Error _ -> "ERROR"
+           in
+           let tag =
+             match r.MS.Verify.Report.strategy with
+             | Some s -> Printf.sprintf "  [%s]" s
+             | None ->
+               if r.MS.Verify.Report.worker > 0 then
+                 Printf.sprintf "  [w%d]" r.MS.Verify.Report.worker
+               else ""
+           in
+           Printf.printf "  %-36s %-9s %8.1f ms%s\n%!" r.MS.Verify.Report.label display
+             r.MS.Verify.Report.wall_ms tag;
+           match r.MS.Verify.Report.verdict with
+           | MS.Verify.Report.Violated cx -> print_string (MS.Counterexample.to_string cx)
+           | MS.Verify.Report.Error e -> Printf.printf "    error: %s\n" e
+           | _ -> ())
+         reports;
+       let is v (r : MS.Verify.Report.t) =
+         MS.Verify.Report.verdict_name r.MS.Verify.Report.verdict = v
+       in
+       Printf.printf "%d queries in %.1f ms (%d verified, %d violated, %d timeout, %d error)\n"
+         (List.length reports) total_ms (count (is "verified")) (count (is "violated"))
+         (count (is "timeout")) (count (is "error")));
+    exit code
   in
-  Cmd.v (Cmd.info "verify" ~doc:"Verify a property of a configuration.")
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P "0 — every property holds.";
+      `P "1 — at least one property is violated (dominates timeouts and worker errors).";
+      `P "2 — usage, parse, or lint error: nothing was verified.";
+      `P "3 — a query timed out or a worker failed, and nothing was violated.";
+    ]
+  in
+  Cmd.v (Cmd.info "verify" ~man ~doc:"Verify a property of a configuration.")
     Term.(
       const run $ file_arg $ property $ sources $ dst_device $ dst_prefix $ bound $ devices
-      $ max_len $ failures $ naive $ slice $ no_lint $ allowed $ batch)
+      $ max_len $ failures $ naive $ slice $ no_lint $ allowed $ batch $ jobs $ timeout
+      $ portfolio $ format)
 
 (* ---- lint ---- *)
 

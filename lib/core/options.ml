@@ -41,6 +41,11 @@ type t = {
           proves can never fire (the linter's MS-W201/202/203/204
           findings).  Verification verdicts are unchanged; the formula
           shrinks. *)
+  strategy : Smt.Solver.strategy;
+      (** SAT search strategy (VSIDS decay, restart cadence, branching
+          polarity) used by every solver created for this encoding.
+          Any strategy yields the same verdicts; the portfolio engine
+          races the {!portfolio} variants on one hard query. *)
 }
 
 let default =
@@ -53,9 +58,26 @@ let default =
     fail_internal_only = false;
     preflight_lint = true;
     lint_slice = false;
+    strategy = Smt.Solver.default_strategy;
   }
 
 let naive = { default with hoist_prefixes = false; slice_unused = false; merge_filters = false; merge_dataplane = false }
 
 let with_failures k t = { t with max_failures = Some k }
 let with_slicing t = { t with lint_slice = true }
+let with_strategy st t = { t with strategy = st }
+
+(* Named search-strategy variants for portfolio solving: very different
+   restart cadences and branching polarities explore the search space in
+   different orders, so racing them on one hard query and keeping the
+   first answer routinely beats any fixed choice.  All variants are
+   sound and complete — only wall time differs. *)
+let portfolio : (string * Smt.Solver.strategy) list =
+  let d = Smt.Solver.default_strategy in
+  [
+    ("default", d);
+    ("agile-restarts", { d with Smt.Solver.restart_base = 25 });
+    ("slow-restarts", { d with Smt.Solver.restart_base = 400 });
+    ("focused-decay", { d with Smt.Solver.var_decay = 0.85 });
+    ("positive-phase", { d with Smt.Solver.default_phase = true });
+  ]

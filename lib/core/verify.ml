@@ -4,21 +4,172 @@ module Solver = Smt.Solver
 type outcome = Holds | Violation of Counterexample.t
 
 let solve_assertions enc (prop : Property.t) =
-  let solver = Solver.create () in
+  let solver = Solver.create ~strategy:(Encode.options enc).Options.strategy () in
   List.iter (Solver.assert_term solver) (Encode.assertions enc);
   List.iter (Solver.assert_term solver) prop.Property.instrumentation;
   List.iter (Solver.assert_term solver) prop.Property.assumptions;
   Solver.assert_term solver (T.not_ prop.Property.goal);
   solver
 
-let check_with_stats enc prop =
-  let solver = solve_assertions enc prop in
-  let outcome =
-    match Solver.check solver with
-    | Solver.Unsat -> Holds
-    | Solver.Sat model -> Violation (Counterexample.decode enc model)
+(* -- the unified query/report surface -------------------------------------- *)
+
+module Query = struct
+  type t = {
+    label : string;
+    timeout : float option;  (* wall-clock seconds for this query alone *)
+    prop : Encode.t -> Property.t;
+  }
+
+  let v ?timeout label prop = { label; timeout; prop }
+  let of_property ?timeout label p = { label; timeout; prop = (fun _ -> p) }
+  let with_default_timeout timeout q =
+    match (q.timeout, timeout) with None, Some _ -> { q with timeout } | _ -> q
+end
+
+module Report = struct
+  type verdict =
+    | Verified
+    | Violated of Counterexample.t
+    | Timeout
+    | Error of string
+
+  type t = {
+    label : string;
+    verdict : verdict;
+    wall_ms : float;
+    stats : Solver.stats;
+        (* per-query solver work: absolute for a fresh solver, the
+           delta over the enclosing session/worker otherwise *)
+    worker : int;  (* 0 = in-process; workers of a pool count from 1 *)
+    strategy : string option;  (* winning variant, in portfolio mode *)
+  }
+
+  let verdict_name = function
+    | Verified -> "verified"
+    | Violated _ -> "violated"
+    | Timeout -> "timeout"
+    | Error _ -> "error"
+
+  let of_outcome = function Holds -> Verified | Violation cx -> Violated cx
+
+  let to_outcome r =
+    match r.verdict with
+    | Verified -> Holds
+    | Violated cx -> Violation cx
+    | Timeout -> invalid_arg (r.label ^ ": query timed out; no outcome")
+    | Error e -> invalid_arg (r.label ^ ": query errored (" ^ e ^ "); no outcome")
+
+  let empty_stats =
+    {
+      Solver.sat_vars = 0;
+      sat_clauses = 0;
+      conflicts = 0;
+      decisions = 0;
+      propagations = 0;
+      restarts = 0;
+      learned_clauses = 0;
+      theory_rounds = 0;
+      checks = 0;
+    }
+
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* One JSON object per report — the single renderer behind both the
+     CLI's --format json and the bench harness. *)
+  let to_json r =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "{\"label\":\"%s\",\"verdict\":\"%s\",\"wall_ms\":%.2f,\"worker\":%d"
+         (json_escape r.label) (verdict_name r.verdict) r.wall_ms r.worker);
+    (match r.strategy with
+     | Some s -> Buffer.add_string buf (Printf.sprintf ",\"strategy\":\"%s\"" (json_escape s))
+     | None -> ());
+    (match r.verdict with
+     | Error e -> Buffer.add_string buf (Printf.sprintf ",\"error\":\"%s\"" (json_escape e))
+     | Violated cx ->
+       Buffer.add_string buf
+         (Printf.sprintf
+            ",\"counterexample\":{\"dst_ip\":\"%s\",\"src_ip\":\"%s\",\"dst_port\":%d,\"failed_links\":[%s],\"announcements\":%d,\"forwarding_edges\":%d}"
+            (Net.Ipv4.to_string cx.Counterexample.dst_ip)
+            (Net.Ipv4.to_string cx.Counterexample.src_ip)
+            cx.Counterexample.dst_port
+            (String.concat ","
+               (List.map
+                  (fun (a, b) -> Printf.sprintf "[\"%s\",\"%s\"]" (json_escape a) (json_escape b))
+                  cx.Counterexample.failures))
+            (List.length cx.Counterexample.announcements)
+            (List.length cx.Counterexample.forwarding))
+     | Verified | Timeout -> ());
+    Buffer.add_string buf
+      (Printf.sprintf
+         ",\"stats\":{\"conflicts\":%d,\"decisions\":%d,\"propagations\":%d,\"learned_clauses\":%d,\"restarts\":%d}}"
+         r.stats.Solver.conflicts r.stats.Solver.decisions r.stats.Solver.propagations
+         r.stats.Solver.learned_clauses r.stats.Solver.restarts);
+    Buffer.contents buf
+
+  let list_to_json rs =
+    "[\n    " ^ String.concat ",\n    " (List.map to_json rs) ^ "\n  ]"
+
+  (* Uniform process exit codes (single, batch and parallel mode):
+     0 every query holds, 1 any violation, 3 any timeout or worker
+     error (2 is reserved for usage/parse errors, signalled before any
+     query runs). A violation dominates a timeout: it is the stronger,
+     actionable answer. *)
+  let exit_code rs =
+    if List.exists (fun r -> match r.verdict with Violated _ -> true | _ -> false) rs then 1
+    else if
+      List.exists (fun r -> match r.verdict with Timeout | Error _ -> true | _ -> false) rs
+    then 3
+    else 0
+end
+
+let now () = Unix.gettimeofday ()
+
+let set_deadline solver = function
+  | None -> Solver.set_stop solver None
+  | Some secs ->
+    let deadline = now () +. secs in
+    (* >= so a zero budget cancels deterministically at the first poll *)
+    Solver.set_stop solver (Some (fun () -> now () >= deadline))
+
+(* Answer one query on a fresh single-shot solver. *)
+let run_query enc (q : Query.t) : Report.t =
+  let t0 = now () in
+  let finish verdict stats =
+    {
+      Report.label = q.Query.label;
+      verdict;
+      wall_ms = (now () -. t0) *. 1000.0;
+      stats;
+      worker = 0;
+      strategy = None;
+    }
   in
-  (outcome, Solver.stats solver)
+  let solver = solve_assertions enc (q.Query.prop enc) in
+  set_deadline solver q.Query.timeout;
+  match Solver.check solver with
+  | Solver.Unsat -> finish Report.Verified (Solver.stats solver)
+  | Solver.Sat model ->
+    finish (Report.Violated (Counterexample.decode enc model)) (Solver.stats solver)
+  | exception Solver.Canceled -> finish Report.Timeout (Solver.stats solver)
+
+(* -- deprecated pre-Report entry points (thin wrappers) -------------------- *)
+
+let check_with_stats enc prop =
+  let r = run_query enc (Query.of_property "check" prop) in
+  (Report.to_outcome r, r.Report.stats)
 
 let check enc prop = fst (check_with_stats enc prop)
 
@@ -38,8 +189,11 @@ module Session = struct
 
   type t = session
 
-  let of_encoding enc =
-    let solver = Solver.create ~incremental:true () in
+  let of_encoding ?strategy enc =
+    let strategy =
+      match strategy with Some st -> st | None -> (Encode.options enc).Options.strategy
+    in
+    let solver = Solver.create ~incremental:true ~strategy () in
     List.iter (Solver.assert_term solver) (Encode.assertions enc);
     { enc; solver; next = 0; active = None }
 
@@ -67,6 +221,42 @@ module Session = struct
     | Solver.Sat model -> Violation (Counterexample.decode s.enc model)
 
   let check_all s make_props = List.map (fun make -> check s (make s.enc)) make_props
+
+  (* Per-query solver work: session counters accumulate forever, so a
+     query's cost is the delta across its check. *)
+  let stats_delta (a : Solver.stats) (b : Solver.stats) =
+    {
+      Solver.sat_vars = b.Solver.sat_vars;
+      sat_clauses = b.Solver.sat_clauses;
+      conflicts = b.Solver.conflicts - a.Solver.conflicts;
+      decisions = b.Solver.decisions - a.Solver.decisions;
+      propagations = b.Solver.propagations - a.Solver.propagations;
+      restarts = b.Solver.restarts - a.Solver.restarts;
+      learned_clauses = b.Solver.learned_clauses - a.Solver.learned_clauses;
+      theory_rounds = b.Solver.theory_rounds - a.Solver.theory_rounds;
+      checks = b.Solver.checks - a.Solver.checks;
+    }
+
+  let run_one s (q : Query.t) : Report.t =
+    let t0 = now () in
+    let before = Solver.stats s.solver in
+    set_deadline s.solver q.Query.timeout;
+    let verdict =
+      match check s (q.Query.prop s.enc) with
+      | o -> Report.of_outcome o
+      | exception Solver.Canceled -> Report.Timeout
+    in
+    Solver.set_stop s.solver None;
+    {
+      Report.label = q.Query.label;
+      verdict;
+      wall_ms = (now () -. t0) *. 1000.0;
+      stats = stats_delta before (Solver.stats s.solver);
+      worker = 0;
+      strategy = None;
+    }
+
+  let run s queries = List.map (run_one s) queries
 end
 
 let record_eq (a : Sym_record.t) (b : Sym_record.t) =

@@ -7,12 +7,84 @@
 
 type outcome = Holds | Violation of Counterexample.t
 
+(** A labelled property query: the unit of work of every verification
+    path (sequential sessions, the process-pool engine, portfolio
+    racing).  The property is a thunk over the encoding so the same
+    query can be replayed against per-worker sessions. *)
+module Query : sig
+  type t = {
+    label : string;
+    timeout : float option;  (** wall-clock budget, seconds, for this query alone *)
+    prop : Encode.t -> Property.t;
+  }
+
+  val v : ?timeout:float -> string -> (Encode.t -> Property.t) -> t
+
+  val of_property : ?timeout:float -> string -> Property.t -> t
+  (** Wrap an already-built property (ignores the encoding argument). *)
+
+  val with_default_timeout : float option -> t -> t
+  (** Fill in [timeout] when the query has none. *)
+end
+
+(** The uniform answer to a {!Query}: one verdict, its wall time, the
+    solver work it cost, and which worker produced it. *)
+module Report : sig
+  type verdict =
+    | Verified  (** the property holds in every stable state *)
+    | Violated of Counterexample.t
+    | Timeout  (** the query's wall-clock budget expired *)
+    | Error of string  (** the worker crashed or the query raised *)
+
+  type t = {
+    label : string;
+    verdict : verdict;
+    wall_ms : float;
+    stats : Smt.Solver.stats;
+        (** per-query solver work: absolute for a fresh solver, a delta
+            over the enclosing session otherwise *)
+    worker : int;  (** 0 when answered in-process; pool workers count from 1 *)
+    strategy : string option;  (** winning variant, in portfolio mode *)
+  }
+
+  val verdict_name : verdict -> string
+  (** ["verified" | "violated" | "timeout" | "error"]. *)
+
+  val of_outcome : outcome -> verdict
+
+  val to_outcome : t -> outcome
+  (** @raise Invalid_argument on [Timeout] and [Error] verdicts. *)
+
+  val empty_stats : Smt.Solver.stats
+
+  val to_json : t -> string
+  (** One JSON object — the single renderer behind the CLI's
+      [--format json] and the bench harness. *)
+
+  val list_to_json : t list -> string
+
+  val exit_code : t list -> int
+  (** Uniform process exit code for a report suite: [0] every query
+      holds, [1] any violation, [3] any timeout/worker error ([2] is
+      reserved for usage and parse errors).  Violations dominate
+      timeouts. *)
+
+  val json_escape : string -> string
+end
+
+val run_query : Encode.t -> Query.t -> Report.t
+(** Answer one query on a fresh single-shot solver (honouring the
+    query's timeout). *)
+
 val check : Encode.t -> Property.t -> outcome
+(** @deprecated Thin wrapper over {!run_query}; use {!Query}/{!Report}. *)
 
 val check_with_stats : Encode.t -> Property.t -> outcome * Smt.Solver.stats
+(** @deprecated Thin wrapper over {!run_query}; use {!Query}/{!Report}. *)
 
 val verify : Config.Ast.network -> Options.t -> (Encode.t -> Property.t) -> outcome
-(** Convenience: build the encoding and check one property. *)
+(** Convenience: build the encoding and check one property.
+    @deprecated Thin wrapper over {!run_query}; use {!Query}/{!Report}. *)
 
 (** Incremental verification sessions: one network encoding answering
     many property queries on a single incremental solver.
@@ -35,8 +107,10 @@ module Session : sig
   val create : Config.Ast.network -> Options.t -> t
   (** Build the encoding and assert the network semantics once. *)
 
-  val of_encoding : Encode.t -> t
-  (** Start a session over an already-built encoding. *)
+  val of_encoding : ?strategy:Smt.Solver.strategy -> Encode.t -> t
+  (** Start a session over an already-built encoding.  [strategy]
+      overrides the encoding options' search strategy — the portfolio
+      engine uses this to race variants over one shared encoding. *)
 
   val encoding : t -> Encode.t
 
@@ -45,9 +119,20 @@ module Session : sig
       calls is allowed; verdicts are identical to {!Verify.check} on a
       fresh solver. *)
 
+  val run_one : t -> Query.t -> Report.t
+  (** Answer one query on the session's incremental solver.  A timeout
+      cancels only this query (verdict [Timeout]); the session remains
+      usable and later queries are unaffected.  [stats] in the report
+      is the delta over this query alone. *)
+
+  val run : t -> Query.t list -> Report.t list
+  (** Answer a suite in order; the sequential baseline every parallel
+      mode is measured against. *)
+
   val check_all : t -> (Encode.t -> Property.t) list -> outcome list
   (** Run a suite of property queries in order against the session's
-      encoding. *)
+      encoding.
+      @deprecated Thin wrapper retained for compatibility; use {!run}. *)
 
   val queries : t -> int
   (** Number of queries checked so far. *)

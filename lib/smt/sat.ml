@@ -15,6 +15,16 @@ type clause = {
 
 let dummy_clause = { lits = [||]; activity = 0.0; learnt = false; deleted = true }
 
+type strategy = {
+  var_decay : float;
+  restart_base : int;
+  default_phase : bool;
+}
+
+let default_strategy = { var_decay = 0.95; restart_base = 100; default_phase = false }
+
+exception Canceled
+
 type t = {
   mutable nvars : int;
   mutable assign : int array;
@@ -47,6 +57,9 @@ type t = {
   mutable on_backtrack : int -> unit;
       (* invoked from cancel_until with the new trail size, so theory
          solvers can pop their assertion stacks in lock step *)
+  mutable strategy : strategy;
+  mutable stop : (unit -> bool) option;
+      (* cooperative cancellation: polled periodically during solve *)
 }
 
 type result = Sat | Unsat
@@ -85,7 +98,12 @@ let create () =
     learnts_made = 0;
     core = [];
     on_backtrack = (fun (_ : int) -> ());
+    strategy = default_strategy;
+    stop = None;
   }
+
+let set_strategy s st = s.strategy <- st
+let set_stop s f = s.stop <- f
 
 let nvars s = s.nvars
 let num_conflicts s = s.conflicts
@@ -177,6 +195,7 @@ let new_var s =
     done;
     s.watches <- fresh
   end;
+  s.phase.(v) <- s.strategy.default_phase;
   heap_insert s v;
   v
 
@@ -224,7 +243,7 @@ let var_bump s v =
   end;
   if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
 
-let var_decay s = s.var_inc <- s.var_inc /. 0.95
+let var_decay s = s.var_inc <- s.var_inc /. s.strategy.var_decay
 
 let cla_bump s (c : clause) =
   c.activity <- c.activity +. s.cla_inc;
@@ -532,6 +551,16 @@ let decide s =
     true
   end
 
+(* Cooperative cancellation point: when the stop hook fires, abandon
+   the search at level 0 (keeping all learnt clauses — they were derived
+   from the clause database alone, so a later solve may reuse them). *)
+let poll_stop s =
+  match s.stop with
+  | Some f when f () ->
+    cancel_until s 0;
+    raise Canceled
+  | _ -> ()
+
 let solve ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
     ?(partial_check = fun (_ : t) -> []) ?(partial_interval = 64)
     ?(on_backtrack = fun (_ : int) -> ()) s =
@@ -539,6 +568,7 @@ let solve ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
   (* A previous Sat answer leaves its model on the trail; start clean. *)
   cancel_until s 0;
   s.core <- [];
+  poll_stop s;
   let assumps = Array.of_list assumptions in
   let n_assumps = Array.length assumps in
   (* Establish the next pending assumption as a decision.  Assumption
@@ -564,15 +594,18 @@ let solve ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
   in
   let restart_num = ref 0 in
   let conflicts_since_restart = ref 0 in
-  let restart_limit = ref (100 * luby 0) in
+  let restart_limit = ref (s.strategy.restart_base * luby 0) in
   let answer = ref None in
   let since_partial = ref 0 in
+  let steps = ref 0 in
   if not s.ok then answer := Some Unsat;
   while !answer = None do
     match propagate s with
     | Some confl ->
       s.conflicts <- s.conflicts + 1;
       incr conflicts_since_restart;
+      incr steps;
+      if !steps land 255 = 0 then poll_stop s;
       if decision_level s = 0 then begin
         s.ok <- false;
         answer := Some Unsat
@@ -610,7 +643,7 @@ let solve ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
         incr restart_num;
         s.restarts <- s.restarts + 1;
         conflicts_since_restart := 0;
-        restart_limit := 100 * luby !restart_num;
+        restart_limit := s.strategy.restart_base * luby !restart_num;
         cancel_until s 0
       end
       else begin
@@ -634,7 +667,9 @@ let solve ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
             end;
             let made = decide s in
             assert made;
-            incr since_partial
+            incr since_partial;
+            incr steps;
+            if !steps land 255 = 0 then poll_stop s
           end
       end
   done;

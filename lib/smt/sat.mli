@@ -22,6 +22,39 @@ type t
 
 type result = Sat | Unsat
 
+type strategy = {
+  var_decay : float;
+      (** VSIDS activity decay: [var_inc] is divided by this after every
+          conflict.  Smaller values focus the search harder on recent
+          conflicts (MiniSat default 0.95). *)
+  restart_base : int;
+      (** Conflicts before the first restart; later restart intervals
+          are this base scaled by the Luby sequence. *)
+  default_phase : bool;
+      (** Initial saved phase of freshly allocated variables (branching
+          polarity before any phase is saved). *)
+}
+(** Search-strategy knobs.  Any strategy is sound and complete — they
+    only steer the search, which is what makes racing them in a
+    portfolio worthwhile. *)
+
+val default_strategy : strategy
+
+val set_strategy : t -> strategy -> unit
+(** Install a strategy.  Decay and restart cadence apply from the next
+    conflict on; the default phase applies to variables allocated after
+    the call. *)
+
+exception Canceled
+
+val set_stop : t -> (unit -> bool) option -> unit
+(** Cooperative cancellation: the hook is polled every few hundred
+    search steps (decisions and conflicts) inside {!solve}.  When it
+    returns [true], the search backtracks to level 0 and {!solve}
+    raises {!Canceled}.  The solver stays usable — clauses learnt
+    before the cancellation are kept and a later {!solve} starts the
+    search afresh. *)
+
 val create : unit -> t
 
 val new_var : t -> int

@@ -8,6 +8,16 @@ type t = {
 
 type result = Sat of Model.t | Unsat
 
+type strategy = Sat.strategy = {
+  var_decay : float;
+  restart_base : int;
+  default_phase : bool;
+}
+
+let default_strategy = Sat.default_strategy
+
+exception Canceled = Sat.Canceled
+
 type stats = {
   sat_vars : int;
   sat_clauses : int;
@@ -20,8 +30,12 @@ type stats = {
   checks : int;
 }
 
-let create ?(incremental = false) () =
-  { cnf = Cnf.create (); incremental; theory_rounds = 0; checks = 0; last_core = [] }
+let create ?(incremental = false) ?strategy () =
+  let s = { cnf = Cnf.create (); incremental; theory_rounds = 0; checks = 0; last_core = [] } in
+  (match strategy with None -> () | Some st -> Sat.set_strategy (Cnf.sat s.cnf) st);
+  s
+
+let set_stop s f = Sat.set_stop (Cnf.sat s.cnf) f
 
 let assert_term s term = Cnf.assert_term s.cnf term
 let assert_implied s ~guard term = Cnf.assert_implied s.cnf ~guard term

@@ -22,6 +22,23 @@ type t
 
 type result = Sat of Model.t | Unsat
 
+type strategy = Sat.strategy = {
+  var_decay : float;  (** VSIDS decay (see {!Sat.strategy}) *)
+  restart_base : int;  (** Luby restart base, in conflicts *)
+  default_phase : bool;  (** branching polarity of fresh variables *)
+}
+(** SAT search strategy.  Every strategy is sound and complete; racing
+    variants against each other (a portfolio) exploits their very
+    different search orders on hard queries. *)
+
+val default_strategy : strategy
+
+exception Canceled
+(** Raised by {!check} when the {!set_stop} hook fires.  The solver
+    remains usable: learnt clauses are kept and a later {!check}
+    restarts the search (incremental solvers only — a single-shot
+    solver still refuses a second check). *)
+
 type stats = {
   sat_vars : int;
   sat_clauses : int;  (** problem clauses (excludes learnt clauses) *)
@@ -36,9 +53,17 @@ type stats = {
 (** Counters accumulate across every {!check} of an incremental
     solver; they are never reset. *)
 
-val create : ?incremental:bool -> unit -> t
+val create : ?incremental:bool -> ?strategy:strategy -> unit -> t
 (** [incremental] (default [false]) allows any number of {!check}
-    calls, interleaved with new assertions. *)
+    calls, interleaved with new assertions.  [strategy] (default
+    {!default_strategy}) steers the SAT search. *)
+
+val set_stop : t -> (unit -> bool) option -> unit
+(** Cooperative cancellation/budget hook: polled every few hundred SAT
+    search steps during {!check}.  When it returns [true] the running
+    check raises {!Canceled}.  Close the hook over a wall-clock
+    deadline for timeouts, or over {!stats} for conflict/decision
+    budgets.  [None] clears it. *)
 
 val assert_term : t -> Term.t -> unit
 

@@ -32,23 +32,32 @@ let differential name net (props : (string * (MS.Encode.t -> MS.Property.t)) lis
   (* Baseline: one fresh encoding and one fresh single-shot solver per
      query, exactly what a cold Verify.verify does. *)
   let baseline = List.map (fun (_, make) -> MS.Verify.verify net opts make) props in
-  (* Session: one encoding, one incremental solver, all queries. *)
+  (* Session: one encoding, one incremental solver, all queries —
+     driven through the Query/Report surface. *)
   let session = MS.Verify.Session.create net opts in
-  let outcomes = MS.Verify.Session.check_all session (List.map snd props) in
+  let queries = List.map (fun (pname, make) -> MS.Verify.Query.v pname make) props in
+  let reports = MS.Verify.Session.run session queries in
   let enc = MS.Verify.Session.encoding session in
   Alcotest.(check int)
     (name ^ ": query count")
     (List.length props)
     (MS.Verify.Session.queries session);
   List.iteri
-    (fun i ((pname, _), (base, sess)) ->
-      if verdict base <> verdict sess then
+    (fun i ((pname, _), (base, (report : MS.Verify.Report.t))) ->
+      if report.MS.Verify.Report.label <> pname then
+        Alcotest.failf "%s: report %d labelled %s, expected %s" name i
+          report.MS.Verify.Report.label pname;
+      let sess = MS.Verify.Report.verdict_name report.MS.Verify.Report.verdict in
+      let base_name =
+        match base with MS.Verify.Holds -> "verified" | MS.Verify.Violation _ -> "violated"
+      in
+      if base_name <> sess then
         Alcotest.failf "%s: %s (query %d): fresh solver says %s, session says %s" name pname i
-          (verdict base) (verdict sess);
-      match sess with
-      | MS.Verify.Holds -> ()
-      | MS.Verify.Violation cx -> check_cx_valid enc cx)
-    (List.combine props (List.combine baseline outcomes))
+          base_name sess;
+      match report.MS.Verify.Report.verdict with
+      | MS.Verify.Report.Violated cx -> check_cx_valid enc cx
+      | _ -> ())
+    (List.combine props (List.combine baseline reports))
 
 (* ---- enterprise fleet samples, one per injected violation class ---- *)
 
