@@ -1,12 +1,15 @@
 # Convenience targets; `make check` is the full local gate: build,
 # test suite, a lint pass over every example configuration, the
 # batch-verification smoke benchmark (one incremental session must
-# beat N fresh solvers with identical verdicts), and the parallel
+# beat N fresh solvers with identical verdicts), the parallel
 # smoke benchmark (sharded -j2 run must agree with the sequential
 # session on every verdict, and beat it by >=1.3x when the machine
-# has at least 2 cores).
+# has at least 2 cores), and the solver-ablation smoke benchmark
+# (all 2^4-grid corners must give identical verdicts; the all-on
+# speedup is additionally gated when the baseline suite is slow
+# enough for the ratio to be signal rather than timer noise).
 
-.PHONY: all build test lint bench-smoke bench-parallel-smoke check clean
+.PHONY: all build test lint bench-smoke bench-parallel-smoke bench-solver-smoke check clean
 
 all: build
 
@@ -28,7 +31,10 @@ bench-smoke: build
 bench-parallel-smoke: build
 	dune exec bench/main.exe -- parallel --smoke
 
-check: build test lint bench-smoke bench-parallel-smoke
+bench-solver-smoke: build
+	dune exec bench/main.exe -- solver --smoke
+
+check: build test lint bench-smoke bench-parallel-smoke bench-solver-smoke
 
 clean:
 	dune clean

@@ -19,10 +19,17 @@
                  sequential session is always gated; wall-clock
                  speedup is gated only when the machine actually has
                  the cores (single-core CI cannot speed up forks)
+     solver      ablation of the four solver-throughput fronts
+                 (polarity-aware CNF, level-0 preprocessing, theory
+                 propagation, LBD clause management) on the enterprise
+                 and fattree suites; writes BENCH_solver.json
+                 (--smoke: verdict agreement always gated, all-on
+                 speedup gated only when the baseline is slow enough
+                 to measure)
      micro       Bechamel micro-benchmarks of the SMT substrate
      all         everything above
 
-   Usage: dune exec bench/main.exe -- [fig7|fig8|opts|violations|batch|parallel|micro|all] [--full|--smoke]
+   Usage: dune exec bench/main.exe -- [fig7|fig8|opts|violations|batch|parallel|solver|micro|all] [--full|--smoke]
 
    By default the expensive sweeps are subsampled so the whole harness
    finishes in minutes; pass --full for the complete paper-scale runs
@@ -465,8 +472,11 @@ let parallel ~smoke () =
       (fun jobs ->
         let reports, ms = time (fun () -> Engine.run ~jobs enc queries) in
         let agree = verdicts reports = seq_verdicts in
-        Printf.printf "   -j%-2d              %10.1f ms  speedup %5.2fx%s\n%!" jobs ms
-          (seq_ms /. ms)
+        let measured =
+          if cores >= jobs then Printf.sprintf "speedup %5.2fx" (seq_ms /. ms)
+          else "skipped_low_cores"
+        in
+        Printf.printf "   -j%-2d              %10.1f ms  %s%s\n%!" jobs ms measured
           (if agree then "" else "  !! verdicts diverge from -j1");
         (jobs, ms, agree))
       job_counts
@@ -499,12 +509,19 @@ let parallel ~smoke () =
   Buffer.add_string buf (Printf.sprintf "  \"queries\": %d,\n" n);
   Buffer.add_string buf (Printf.sprintf "  \"sequential_ms\": %.2f,\n" seq_ms);
   Buffer.add_string buf "  \"runs\": [\n";
+  (* A fork pool on fewer cores than jobs cannot speed anything up: the
+     run is labelled skipped_low_cores (agreement still recorded)
+     instead of reporting a regression-shaped "speedup" number. *)
   List.iteri
     (fun i (jobs, ms, agree) ->
+      let measured =
+        if cores >= jobs then
+          Printf.sprintf "\"status\": \"ok\", \"speedup\": %.3f" (seq_ms /. ms)
+        else "\"status\": \"skipped_low_cores\""
+      in
       Buffer.add_string buf
-        (Printf.sprintf
-           "    { \"jobs\": %d, \"ms\": %.2f, \"speedup\": %.3f, \"verdicts_agree\": %b }%s\n"
-           jobs ms (seq_ms /. ms) agree
+        (Printf.sprintf "    { \"jobs\": %d, \"ms\": %.2f, %s, \"verdicts_agree\": %b }%s\n"
+           jobs ms measured agree
            (if i = List.length runs - 1 then "" else ",")))
     runs;
   Buffer.add_string buf "  ],\n";
@@ -542,6 +559,193 @@ let parallel ~smoke () =
           jobs cores)
     runs;
   if all_agree then print_endline "   parallel OK: verdicts identical to the sequential session"
+
+(* ---------------- solver-throughput ablation ---------------- *)
+
+(* The fattree property suite as labelled query builders (the fig8
+   checks that share one encoding). *)
+let fattree_suite (ft : G.Fattree.t) =
+  let dst_tor = List.hd ft.G.Fattree.tors in
+  let other_tors = List.filter (fun t -> t <> dst_tor) ft.G.Fattree.tors in
+  let dest = MS.Property.Subnet (dst_tor, ft.G.Fattree.tor_subnet dst_tor) in
+  [
+    ( "single-tor-reachability",
+      fun enc -> MS.Property.reachability enc ~sources:[ List.hd other_tors ] dest );
+    ("all-tor-reachability", fun enc -> MS.Property.reachability enc ~sources:other_tors dest);
+    ( "bounded-length",
+      fun enc -> MS.Property.bounded_length enc ~sources:other_tors dest ~bound:4 );
+    ("multipath-consistency", fun enc -> MS.Property.multipath_consistency enc dest);
+    ("no-blackholes", fun enc -> MS.Property.no_blackholes enc ~allowed:ft.G.Fattree.cores ())
+  ]
+
+(* Ablation of the four solver-throughput fronts: every query of the
+   enterprise + fattree suites is answered on a fresh single-shot
+   solver under six feature configurations (all off, each front alone,
+   all on).  Verdicts must agree everywhere — the fronts only change
+   how fast the search converges — and the JSON records per-front
+   speedups plus the decisions-per-conflict ratio on the hardest query
+   (how much blind walking over don't-care variables each front
+   eliminates). *)
+let solver_bench ~smoke () =
+  print_endline "== solver throughput: four-front ablation (fresh solver per query) ==";
+  let routers = if smoke then 8 else if !full then 16 else 12 in
+  let pods = if smoke then 2 else 4 in
+  let seed = 3 in
+  let ent = G.Enterprise.make ~seed ~routers ~inject:G.Enterprise.no_bugs () in
+  let ft = G.Fattree.make ~pods in
+  let nets =
+    [
+      ("ent", ent.G.Enterprise.network, batch_suite ent);
+      ("ft", ft.G.Fattree.network, fattree_suite ft);
+    ]
+  in
+  Printf.printf "   enterprise seed=%d routers=%d + fattree pods=%d: %d queries per config\n%!"
+    seed routers pods
+    (List.fold_left (fun a (_, _, qs) -> a + List.length qs) 0 nets);
+  let off = Smt.Solver.no_features in
+  let configs =
+    [
+      ("all-off", off);
+      ("pg-cnf", { off with Smt.Solver.pg_cnf = true });
+      ("preprocess", { off with Smt.Solver.preprocess = true });
+      ("theory-prop", { off with Smt.Solver.theory_prop = true });
+      ("lbd", { off with Smt.Solver.lbd = true });
+      ("all-on", Smt.Solver.default_features);
+    ]
+  in
+  (* (config name, total ms, reports in suite order).  The search is
+     deterministic per configuration, so two passes over the suite do
+     identical solver work: taking the per-query minimum wall time
+     filters scheduler/GC noise without changing what is measured. *)
+  let passes = 2 in
+  let results =
+    List.map
+      (fun (cname, feats) ->
+        let opts = MS.Options.with_features feats MS.Options.default in
+        let run_suite () =
+          List.concat_map
+            (fun (nname, net, suite) ->
+              let enc = MS.Encode.build net opts in
+              List.map
+                (fun (qname, make) ->
+                  MS.Verify.run_query enc (MS.Verify.Query.v (nname ^ ":" ^ qname) make))
+                suite)
+            nets
+        in
+        let reports = ref (run_suite ()) in
+        for _ = 2 to passes do
+          reports :=
+            List.map2
+              (fun (a : MS.Verify.Report.t) (b : MS.Verify.Report.t) ->
+                if b.MS.Verify.Report.wall_ms < a.MS.Verify.Report.wall_ms then b else a)
+              !reports (run_suite ())
+        done;
+        let reports = !reports in
+        let total =
+          List.fold_left
+            (fun a (r : MS.Verify.Report.t) -> a +. r.MS.Verify.Report.wall_ms)
+            0.0 reports
+        in
+        Printf.printf "   %-12s %10.1f ms total (min over %d passes)\n%!" cname total passes;
+        (cname, total, reports))
+      configs
+  in
+  let find name = List.find (fun (n, _, _) -> n = name) results in
+  let _, off_total, off_reports = find "all-off" in
+  let _, on_total, on_reports = find "all-on" in
+  let verdict_sig reports =
+    List.map
+      (fun (r : MS.Verify.Report.t) ->
+        (r.MS.Verify.Report.label, MS.Verify.Report.verdict_name r.MS.Verify.Report.verdict))
+      reports
+  in
+  let base_verdicts = verdict_sig off_reports in
+  let agree = List.for_all (fun (_, _, rs) -> verdict_sig rs = base_verdicts) results in
+  (* hardest query under the baseline configuration *)
+  let hardest =
+    List.fold_left
+      (fun (b : MS.Verify.Report.t) (r : MS.Verify.Report.t) ->
+        if r.MS.Verify.Report.wall_ms > b.MS.Verify.Report.wall_ms then r else b)
+      (List.hd off_reports) off_reports
+  in
+  let hlabel = hardest.MS.Verify.Report.label in
+  let dpc (rs : MS.Verify.Report.t list) =
+    let r = List.find (fun (r : MS.Verify.Report.t) -> r.MS.Verify.Report.label = hlabel) rs in
+    MS.Verify.Report.decisions_per_conflict r.MS.Verify.Report.stats
+  in
+  List.iter
+    (fun (cname, total, rs) ->
+      if cname <> "all-off" then
+        Printf.printf "   %-12s speedup %5.2fx vs all-off  (hardest query %s: %.1f dec/cfl)\n%!"
+          cname (off_total /. total) hlabel (dpc rs))
+    results;
+  Printf.printf "   hardest query %s: %.1f dec/cfl all-off -> %.1f dec/cfl all-on\n%!" hlabel
+    (dpc off_reports) (dpc on_reports);
+  if not agree then print_endline "   !! verdict divergence between feature configurations";
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"networks\": { \"enterprise\": { \"seed\": %d, \"routers\": %d }, \"fattree\": { \
+        \"pods\": %d } },\n"
+       seed routers pods);
+  Buffer.add_string buf "  \"configs\": [\n";
+  let nconf = List.length results in
+  List.iteri
+    (fun i (cname, total, rs) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"total_ms\": %.2f, \"speedup_vs_all_off\": %.3f, \
+            \"reports\": %s }%s\n"
+           cname total (off_total /. total)
+           (MS.Verify.Report.list_to_json rs)
+           (if i = nconf - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"hardest_query\": { \"label\": \"%s\", \"all_off_ms\": %.2f, \
+        \"decisions_per_conflict\": { %s } },\n"
+       (MS.Verify.Report.json_escape hlabel)
+       hardest.MS.Verify.Report.wall_ms
+       (String.concat ", "
+          (List.map
+             (fun (cname, _, rs) -> Printf.sprintf "\"%s\": %.2f" cname (dpc rs))
+             results)));
+  Buffer.add_string buf (Printf.sprintf "  \"all_off_total_ms\": %.2f,\n" off_total);
+  Buffer.add_string buf (Printf.sprintf "  \"all_on_total_ms\": %.2f,\n" on_total);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"all_on_speedup\": %.3f,\n" (off_total /. on_total));
+  Buffer.add_string buf (Printf.sprintf "  \"verdicts_agree\": %b\n" agree);
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_solver.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_endline "   wrote BENCH_solver.json";
+  if smoke then begin
+    if not agree then begin
+      prerr_endline "bench-solver-smoke: verdict divergence between feature configurations";
+      exit 1
+    end;
+    (* Speedup is only gated when the baseline suite is slow enough for
+       the ratio to be signal rather than timer noise. *)
+    let floor_ms = 300.0 in
+    let target = 1.1 in
+    if off_total >= floor_ms && off_total /. on_total < target then begin
+      Printf.eprintf
+        "bench-solver-smoke: all-on speedup %.2fx below the %.1fx target (baseline %.1f ms)\n"
+        (off_total /. on_total) target off_total;
+      exit 1
+    end;
+    if off_total < floor_ms then
+      Printf.printf
+        "   (speedup gate skipped: baseline %.1f ms under the %.0f ms floor — agreement still \
+         enforced)\n%!"
+        off_total floor_ms
+    else
+      Printf.printf "   smoke OK: identical verdicts, all-on %.2fx faster than all-off\n%!"
+        (off_total /. on_total)
+  end
 
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
@@ -631,6 +835,7 @@ let () =
    | "micro" -> micro ()
    | "batch" -> batch ~smoke ()
    | "parallel" -> parallel ~smoke ()
+   | "solver" -> solver_bench ~smoke ()
    | "all" ->
      fig7 ();
      print_newline ();
@@ -644,9 +849,11 @@ let () =
      print_newline ();
      parallel ~smoke ();
      print_newline ();
+     solver_bench ~smoke ();
+     print_newline ();
      micro ()
    | other ->
      Printf.eprintf
-       "unknown benchmark %s (fig7|fig8|opts|violations|batch|parallel|micro|all)\n" other;
+       "unknown benchmark %s (fig7|fig8|opts|violations|batch|parallel|solver|micro|all)\n" other;
      exit 2);
   Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -46,6 +46,12 @@ type t = {
           polarity) used by every solver created for this encoding.
           Any strategy yields the same verdicts; the portfolio engine
           races the {!portfolio} variants on one hard query. *)
+  solver_features : Smt.Solver.features;
+      (** Solver-throughput optimizations (polarity-aware CNF, level-0
+          preprocessing, theory propagation, LBD clause management)
+          used by every solver created for this encoding.  Any
+          combination yields the same verdicts; [bench solver] ablates
+          them. *)
 }
 
 let default =
@@ -59,6 +65,7 @@ let default =
     preflight_lint = true;
     lint_slice = false;
     strategy = Smt.Solver.default_strategy;
+    solver_features = Smt.Solver.default_features;
   }
 
 let naive = { default with hoist_prefixes = false; slice_unused = false; merge_filters = false; merge_dataplane = false }
@@ -66,6 +73,7 @@ let naive = { default with hoist_prefixes = false; slice_unused = false; merge_f
 let with_failures k t = { t with max_failures = Some k }
 let with_slicing t = { t with lint_slice = true }
 let with_strategy st t = { t with strategy = st }
+let with_features f t = { t with solver_features = f }
 
 (* Named search-strategy variants for portfolio solving: very different
    restart cadences and branching polarities explore the search space in

@@ -4,7 +4,10 @@ module Solver = Smt.Solver
 type outcome = Holds | Violation of Counterexample.t
 
 let solve_assertions enc (prop : Property.t) =
-  let solver = Solver.create ~strategy:(Encode.options enc).Options.strategy () in
+  let opts = Encode.options enc in
+  let solver =
+    Solver.create ~strategy:opts.Options.strategy ~features:opts.Options.solver_features ()
+  in
   List.iter (Solver.assert_term solver) (Encode.assertions enc);
   List.iter (Solver.assert_term solver) prop.Property.instrumentation;
   List.iter (Solver.assert_term solver) prop.Property.assumptions;
@@ -69,8 +72,18 @@ module Report = struct
       restarts = 0;
       learned_clauses = 0;
       theory_rounds = 0;
+      theory_propagations = 0;
+      preprocessed_clauses = 0;
+      lbd_reductions = 0;
       checks = 0;
     }
+
+  (* Decisions per conflict: how much of the search is blind walking
+     over don't-care variables versus conflict-driven progress (lower
+     is tighter). *)
+  let decisions_per_conflict (st : Solver.stats) =
+    if st.Solver.conflicts = 0 then 0.0
+    else float_of_int st.Solver.decisions /. float_of_int st.Solver.conflicts
 
   let json_escape s =
     let buf = Buffer.create (String.length s + 8) in
@@ -114,9 +127,12 @@ module Report = struct
      | Verified | Timeout -> ());
     Buffer.add_string buf
       (Printf.sprintf
-         ",\"stats\":{\"conflicts\":%d,\"decisions\":%d,\"propagations\":%d,\"learned_clauses\":%d,\"restarts\":%d}}"
+         ",\"stats\":{\"conflicts\":%d,\"decisions\":%d,\"propagations\":%d,\"learned_clauses\":%d,\"restarts\":%d,\"theory_propagations\":%d,\"preprocessed_clauses\":%d,\"lbd_reductions\":%d,\"decisions_per_conflict\":%.2f}}"
          r.stats.Solver.conflicts r.stats.Solver.decisions r.stats.Solver.propagations
-         r.stats.Solver.learned_clauses r.stats.Solver.restarts);
+         r.stats.Solver.learned_clauses r.stats.Solver.restarts
+         r.stats.Solver.theory_propagations r.stats.Solver.preprocessed_clauses
+         r.stats.Solver.lbd_reductions
+         (decisions_per_conflict r.stats));
     Buffer.contents buf
 
   let list_to_json rs =
@@ -189,11 +205,16 @@ module Session = struct
 
   type t = session
 
-  let of_encoding ?strategy enc =
+  let of_encoding ?strategy ?features enc =
     let strategy =
       match strategy with Some st -> st | None -> (Encode.options enc).Options.strategy
     in
-    let solver = Solver.create ~incremental:true ~strategy () in
+    let features =
+      match features with
+      | Some f -> f
+      | None -> (Encode.options enc).Options.solver_features
+    in
+    let solver = Solver.create ~incremental:true ~strategy ~features () in
     List.iter (Solver.assert_term solver) (Encode.assertions enc);
     { enc; solver; next = 0; active = None }
 
@@ -234,6 +255,9 @@ module Session = struct
       restarts = b.Solver.restarts - a.Solver.restarts;
       learned_clauses = b.Solver.learned_clauses - a.Solver.learned_clauses;
       theory_rounds = b.Solver.theory_rounds - a.Solver.theory_rounds;
+      theory_propagations = b.Solver.theory_propagations - a.Solver.theory_propagations;
+      preprocessed_clauses = b.Solver.preprocessed_clauses - a.Solver.preprocessed_clauses;
+      lbd_reductions = b.Solver.lbd_reductions - a.Solver.lbd_reductions;
       checks = b.Solver.checks - a.Solver.checks;
     }
 

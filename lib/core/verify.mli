@@ -57,6 +57,11 @@ module Report : sig
 
   val empty_stats : Smt.Solver.stats
 
+  val decisions_per_conflict : Smt.Solver.stats -> float
+  (** Decisions per conflict ([0.] when no conflicts): how much of the
+      search was blind walking over don't-care variables versus
+      conflict-driven progress.  Lower is tighter. *)
+
   val to_json : t -> string
   (** One JSON object — the single renderer behind the CLI's
       [--format json] and the bench harness. *)
@@ -107,10 +112,13 @@ module Session : sig
   val create : Config.Ast.network -> Options.t -> t
   (** Build the encoding and assert the network semantics once. *)
 
-  val of_encoding : ?strategy:Smt.Solver.strategy -> Encode.t -> t
+  val of_encoding :
+    ?strategy:Smt.Solver.strategy -> ?features:Smt.Solver.features -> Encode.t -> t
   (** Start a session over an already-built encoding.  [strategy]
       overrides the encoding options' search strategy — the portfolio
-      engine uses this to race variants over one shared encoding. *)
+      engine uses this to race variants over one shared encoding.
+      [features] overrides the encoding options' solver optimizations
+      (the solver bench uses this for its ablation grid). *)
 
   val encoding : t -> Encode.t
 

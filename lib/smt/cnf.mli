@@ -9,7 +9,14 @@
 
     Cardinality constraints ([Term.at_most]) are expanded with the
     sequential-counter encoding using fresh variables and full
-    equivalences, so they are sound under both polarities. *)
+    equivalences, so they are sound under both polarities.
+
+    By default the conversion is polarity-aware (Plaisted–Greenbaum):
+    an And/Or definition only emits the implication direction(s) it is
+    actually used under, halving the clauses for single-polarity
+    subformulas.  Models of the reduced encoding satisfy the original
+    formula, so model extraction is unchanged; [create ~pg:false]
+    restores full biconditional Tseitin. *)
 
 type t
 
@@ -25,7 +32,10 @@ type rat_atom = {
   rstrict : bool;
 }
 
-val create : unit -> t
+val create : ?pg:bool -> unit -> t
+(** [create ()] uses polarity-aware conversion; [~pg:false] emits full
+    equivalences for every definition. *)
+
 val sat : t -> Sat.t
 
 val assert_term : t -> Term.t -> unit

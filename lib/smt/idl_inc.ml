@@ -9,6 +9,10 @@ type t = {
   edges : edge Vec.t;  (* assertion stack, trail order *)
   pred_src : int array;  (* repair bookkeeping *)
   pred_tag : int array;
+  ladders : (int * int, (int * int) list ref) Hashtbl.t;
+      (* (x, y) -> atoms x - y <= k over that variable pair as (k, var)
+         sorted by k ascending: the "ladder" x-y<=k implies x-y<=k' for
+         every k' > k, which theory propagation exploits *)
 }
 
 let dummy_edge = { ex = 0; ey = 0; ek = 0; etag = 0; pos = -1 }
@@ -22,7 +26,29 @@ let create ~nvars =
     edges = Vec.create ~dummy:dummy_edge ();
     pred_src = Array.make n (-1);
     pred_tag = Array.make n (-1);
+    ladders = Hashtbl.create 256;
   }
+
+let register_atom t ~x ~y ~k ~var =
+  let key = (x, y) in
+  let rung = (k, var) in
+  match Hashtbl.find_opt t.ladders key with
+  | None -> Hashtbl.add t.ladders key (ref [ rung ])
+  | Some l ->
+    if not (List.mem rung !l) then
+      l := List.sort (fun (ka, _) (kb, _) -> compare ka kb) (rung :: !l)
+
+let ladder_neighbors t ~x ~y ~k =
+  match Hashtbl.find_opt t.ladders (x, y) with
+  | None -> (None, None)
+  | Some l ->
+    let below = ref None and above = ref None in
+    List.iter
+      (fun (k', v') ->
+        if k' < k then below := Some (k', v')
+        else if k' > k && !above = None then above := Some (k', v'))
+      !l;
+    (!below, !above)
 
 exception Infeasible of int list
 

@@ -23,3 +23,16 @@ val backtrack : t -> trail_size:int -> unit
 
 val model : t -> int array
 (** A satisfying assignment for the current constraints. *)
+
+val register_atom : t -> x:int -> y:int -> k:int -> var:int -> unit
+(** Record that SAT variable [var] encodes the atom [x - y <= k], for
+    theory propagation.  Atoms over the same [(x, y)] pair form a
+    "ladder": [x - y <= k] implies [x - y <= k'] for every [k' > k].
+    Idempotent. *)
+
+val ladder_neighbors : t -> x:int -> y:int -> k:int -> (int * int) option * (int * int) option
+(** The registered atoms adjacent to [k] on the [(x, y)] ladder, as
+    [(below, above)] where each is [(k', var')] with [k'] the largest
+    bound below (resp. smallest above) [k].  The binary clause
+    [¬var_below ∨ var_above] between adjacent rungs is the theory lemma
+    that lets unit propagation do difference-bound reasoning. *)

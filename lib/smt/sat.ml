@@ -3,17 +3,26 @@
      negative one;
    - [assign.(v)] is [0] when unassigned, [1] when true, [-1] when false;
    - a clause's two watched literals sit at positions 0 and 1 of [lits];
-   - [watches.(l)] holds the clauses currently watching literal [l];
+   - [watches.(l)] holds the watchers for literal [l], each carrying a
+     blocking literal: when the blocker is true the clause is satisfied
+     and its literal array is never touched (cache-friendliness);
    - the implied literal of a reason clause sits at position 0. *)
 
 type clause = {
   mutable lits : int array;
   mutable activity : float;
+  mutable lbd : int;
+      (* literal block distance: distinct decision levels in the clause
+         when it was learnt; glue clauses (lbd <= 2) are never deleted *)
   learnt : bool;
   mutable deleted : bool;
 }
 
-let dummy_clause = { lits = [||]; activity = 0.0; learnt = false; deleted = true }
+let dummy_clause = { lits = [||]; activity = 0.0; lbd = 0; learnt = false; deleted = true }
+
+type watcher = { wcl : clause; blocker : int }
+
+let dummy_watcher = { wcl = dummy_clause; blocker = -1 }
 
 type strategy = {
   var_decay : float;
@@ -32,10 +41,18 @@ type t = {
   mutable reason : clause option array;
   mutable phase : bool array;
   mutable seen : bool array;
+  mutable frozen : bool array;
+      (* variables pure-literal elimination must never touch: theory
+         atoms (constrained outside the clause database) and assumption
+         literals (decided by the caller, in either phase) *)
+  mutable important : bool array;
+      (* variables whose assignment gates early-SAT detection (theory
+         atoms): once all of them are assigned and every problem clause
+         is satisfied, the remaining variables are don't-cares *)
   mutable activity : float array;
   mutable heap_pos : int array;
   heap : int Vec.t;
-  mutable watches : clause Vec.t array;
+  mutable watches : watcher Vec.t array;
   trail : int Vec.t;
   trail_lim : int Vec.t;
   mutable qhead : int;
@@ -60,6 +77,22 @@ type t = {
   mutable strategy : strategy;
   mutable stop : (unit -> bool) option;
       (* cooperative cancellation: polled periodically during solve *)
+  (* -- optimization switches (all off by default: the raw SAT API keeps
+        its historical behavior; Smt.Solver flips them per feature) -- *)
+  mutable simplify_enabled : bool;
+  mutable pure_elim_enabled : bool;
+  mutable lbd_enabled : bool;
+  mutable early_sat_enabled : bool;
+  (* -- preprocessing / early-SAT bookkeeping -- *)
+  mutable n_important : int;
+  mutable important_assigned : int;
+  mutable simp_clauses : int;  (* database size at the last simplify pass *)
+  mutable simp_trail : int;  (* root trail size at the last simplify pass *)
+  mutable preprocessed : int;  (* clauses removed or strengthened at level 0 *)
+  mutable lbd_deletions : int;  (* learnt clauses dropped by LBD-scored reduction *)
+  mutable early_sats : int;  (* Sat answers concluded on a partial assignment *)
+  mutable scan_backoff : int;  (* conflicts+decisions to wait after a failed scan *)
+  mutable next_scan_work : int;
 }
 
 type result = Sat | Unsat
@@ -78,10 +111,12 @@ let create () =
     reason = Array.make 16 None;
     phase = Array.make 16 false;
     seen = Array.make 16 false;
+    frozen = Array.make 16 false;
+    important = Array.make 16 false;
     activity = Array.make 16 0.0;
     heap_pos = Array.make 16 (-1);
     heap = Vec.create ~dummy:(-1) ();
-    watches = Array.init 32 (fun _ -> Vec.create ~dummy:dummy_clause ());
+    watches = Array.init 32 (fun _ -> Vec.create ~dummy:dummy_watcher ());
     trail = Vec.create ~dummy:(-1) ();
     trail_lim = Vec.create ~dummy:(-1) ();
     qhead = 0;
@@ -100,10 +135,27 @@ let create () =
     on_backtrack = (fun (_ : int) -> ());
     strategy = default_strategy;
     stop = None;
+    simplify_enabled = false;
+    pure_elim_enabled = false;
+    lbd_enabled = false;
+    early_sat_enabled = false;
+    n_important = 0;
+    important_assigned = 0;
+    simp_clauses = -1;
+    simp_trail = -1;
+    preprocessed = 0;
+    lbd_deletions = 0;
+    early_sats = 0;
+    scan_backoff = 16;
+    next_scan_work = 0;
   }
 
 let set_strategy s st = s.strategy <- st
 let set_stop s f = s.stop <- f
+let set_simplify s b = s.simplify_enabled <- b
+let set_pure_elim s b = s.pure_elim_enabled <- b
+let set_lbd s b = s.lbd_enabled <- b
+let set_early_sat s b = s.early_sat_enabled <- b
 
 let nvars s = s.nvars
 let num_conflicts s = s.conflicts
@@ -112,6 +164,9 @@ let num_propagations s = s.propagations
 let num_clauses s = Vec.size s.clauses
 let num_restarts s = s.restarts
 let num_learnts s = s.learnts_made
+let num_preprocessed s = s.preprocessed
+let num_lbd_deletions s = s.lbd_deletions
+let num_early_sats s = s.early_sats
 let unsat_core s = s.core
 
 (* -- variable order (binary max-heap on activity) ------------------------ *)
@@ -183,21 +238,32 @@ let new_var s =
   s.reason <- grow_array s.reason s.nvars None;
   s.phase <- grow_array s.phase s.nvars false;
   s.seen <- grow_array s.seen s.nvars false;
+  s.frozen <- grow_array s.frozen s.nvars false;
+  s.important <- grow_array s.important s.nvars false;
   s.activity <- grow_array s.activity s.nvars 0.0;
   s.heap_pos <- grow_array s.heap_pos s.nvars (-1);
   let nlits = 2 * s.nvars in
   if Array.length s.watches < nlits then begin
     let old = Array.length s.watches in
-    let fresh = Array.make (max nlits (2 * old)) (Vec.create ~dummy:dummy_clause ()) in
+    let fresh = Array.make (max nlits (2 * old)) (Vec.create ~dummy:dummy_watcher ()) in
     Array.blit s.watches 0 fresh 0 old;
     for i = old to Array.length fresh - 1 do
-      fresh.(i) <- Vec.create ~dummy:dummy_clause ()
+      fresh.(i) <- Vec.create ~dummy:dummy_watcher ()
     done;
     s.watches <- fresh
   end;
   s.phase.(v) <- s.strategy.default_phase;
   heap_insert s v;
   v
+
+let freeze_var s v = s.frozen.(v) <- true
+
+let mark_important s v =
+  if not s.important.(v) then begin
+    s.important.(v) <- true;
+    s.n_important <- s.n_important + 1;
+    if s.assign.(v) <> 0 then s.important_assigned <- s.important_assigned + 1
+  end
 
 (* -- assignment ----------------------------------------------------------- *)
 
@@ -212,6 +278,7 @@ let enqueue s l reason =
   s.assign.(v) <- (if lit_sign l then 1 else -1);
   s.level.(v) <- decision_level s;
   s.reason.(v) <- reason;
+  if s.important.(v) then s.important_assigned <- s.important_assigned + 1;
   Vec.push s.trail l
 
 let cancel_until s lvl =
@@ -223,6 +290,7 @@ let cancel_until s lvl =
       s.phase.(v) <- lit_sign l;
       s.assign.(v) <- 0;
       s.reason.(v) <- None;
+      if s.important.(v) then s.important_assigned <- s.important_assigned - 1;
       heap_insert s v
     done;
     s.qhead <- bound;
@@ -257,8 +325,8 @@ let cla_decay s = s.cla_inc <- s.cla_inc /. 0.999
 (* -- clauses -------------------------------------------------------------- *)
 
 let attach s c =
-  Vec.push s.watches.(c.lits.(0)) c;
-  Vec.push s.watches.(c.lits.(1)) c
+  Vec.push s.watches.(c.lits.(0)) { wcl = c; blocker = c.lits.(1) };
+  Vec.push s.watches.(c.lits.(1)) { wcl = c; blocker = c.lits.(0) }
 
 let add_clause s lits =
   (* A previous Sat answer leaves its model on the trail; new clauses are
@@ -278,7 +346,9 @@ let add_clause s lits =
       | [] -> s.ok <- false
       | [ l ] -> enqueue s l None
       | _ :: _ :: _ ->
-        let c = { lits = Array.of_list lits; activity = 0.0; learnt = false; deleted = false } in
+        let c =
+          { lits = Array.of_list lits; activity = 0.0; lbd = 0; learnt = false; deleted = false }
+        in
         Vec.push s.clauses c;
         attach s c
     end
@@ -297,44 +367,55 @@ let propagate s =
     let n = Vec.size ws in
     let i = ref 0 and j = ref 0 in
     while !i < n do
-      let c = Vec.get ws !i in
+      let w = Vec.get ws !i in
       incr i;
-      if not c.deleted then begin
-        let lits = c.lits in
-        if lits.(0) = fl then begin
-          lits.(0) <- lits.(1);
-          lits.(1) <- fl
-        end;
-        if lit_value s lits.(0) = 1 then begin
-          (* Clause satisfied by the other watch; keep it here. *)
-          Vec.set ws !j c;
-          incr j
-        end
-        else begin
-          let len = Array.length lits in
-          let k = ref 2 in
-          while !k < len && lit_value s lits.(!k) = -1 do
-            incr k
-          done;
-          if !k < len then begin
-            (* Move the watch to lits.(!k). *)
-            lits.(1) <- lits.(!k);
-            lits.(!k) <- fl;
-            Vec.push s.watches.(lits.(1)) c
+      if lit_value s w.blocker = 1 then begin
+        (* Blocking literal is true: the clause is satisfied without
+           touching its literal array. *)
+        Vec.set ws !j w;
+        incr j
+      end
+      else begin
+        let c = w.wcl in
+        if not c.deleted then begin
+          let lits = c.lits in
+          if lits.(0) = fl then begin
+            lits.(0) <- lits.(1);
+            lits.(1) <- fl
+          end;
+          let first = lits.(0) in
+          if lit_value s first = 1 then begin
+            (* Clause satisfied by the other watch; keep it here and
+               remember that watch as the blocker. *)
+            Vec.set ws !j { wcl = c; blocker = first };
+            incr j
           end
           else begin
-            Vec.set ws !j c;
-            incr j;
-            if lit_value s lits.(0) = -1 then begin
-              confl := Some c;
-              s.qhead <- Vec.size s.trail;
-              while !i < n do
-                Vec.set ws !j (Vec.get ws !i);
-                incr j;
-                incr i
-              done
+            let len = Array.length lits in
+            let k = ref 2 in
+            while !k < len && lit_value s lits.(!k) = -1 do
+              incr k
+            done;
+            if !k < len then begin
+              (* Move the watch to lits.(!k). *)
+              lits.(1) <- lits.(!k);
+              lits.(!k) <- fl;
+              Vec.push s.watches.(lits.(1)) { wcl = c; blocker = first }
             end
-            else enqueue s lits.(0) (Some c)
+            else begin
+              Vec.set ws !j { wcl = c; blocker = first };
+              incr j;
+              if lit_value s first = -1 then begin
+                confl := Some c;
+                s.qhead <- Vec.size s.trail;
+                while !i < n do
+                  Vec.set ws !j (Vec.get ws !i);
+                  incr j;
+                  incr i
+                done
+              end
+              else enqueue s first (Some c)
+            end
           end
         end
       end
@@ -342,6 +423,219 @@ let propagate s =
     Vec.shrink ws !j
   done;
   !confl
+
+(* -- level-0 preprocessing ------------------------------------------------- *)
+
+(* One pass over the clause database at decision level 0, run from the
+   top of [solve] when [simplify_enabled]:
+     1. root unit propagation to fixpoint;
+     2. removal of satisfied clauses and stripping of root-false
+        literals (problem and learnt clauses alike);
+     3. forward subsumption and self-subsuming resolution over the
+        problem clauses;
+     4. pure-literal elimination ([pure_elim_enabled] only), skipping
+        frozen variables — the pure polarity is asserted at level 0, so
+        models stay exact with no separate reconstruction step.
+   Every transformation is applied at level 0 and watches are rebuilt
+   afterwards, so no search state can dangle.  The pass is skipped when
+   the database and root trail are unchanged since the last run. *)
+
+let clean_clause_vec s vec =
+  let changed = ref false in
+  Vec.iter
+    (fun (c : clause) ->
+      if not c.deleted then begin
+        let lits = c.lits in
+        if Array.exists (fun l -> lit_value s l = 1) lits then begin
+          c.deleted <- true;
+          s.preprocessed <- s.preprocessed + 1;
+          changed := true
+        end
+        else if Array.exists (fun l -> lit_value s l = -1) lits then begin
+          let live = Array.of_list (List.filter (fun l -> lit_value s l <> -1) (Array.to_list lits)) in
+          s.preprocessed <- s.preprocessed + 1;
+          changed := true;
+          match Array.length live with
+          | 0 -> s.ok <- false
+          | 1 ->
+            enqueue s live.(0) None;
+            c.deleted <- true
+          | _ -> c.lits <- live
+        end
+      end)
+    vec;
+  !changed
+
+let clause_sig (c : clause) =
+  Array.fold_left (fun acc l -> acc lor (1 lsl (l mod 62))) 0 c.lits
+
+(* [a] and [b] sorted ascending: is every literal of [a] in [b]? *)
+let subset_sorted (a : int array) (b : int array) =
+  let na = Array.length a and nb = Array.length b in
+  let i = ref 0 and j = ref 0 in
+  while !i < na && !j < nb do
+    if a.(!i) = b.(!j) then begin
+      incr i;
+      incr j
+    end
+    else if a.(!i) > b.(!j) then incr j
+    else i := na + 1
+  done;
+  !i = na
+
+(* does C = [c_lits] strengthen D = [d_lits] by resolving on [l], i.e.
+   (C \ {l}) ∪ {¬l} ⊆ D?  Both inputs sorted; clauses are small, so a
+   sorted copy per candidate is cheap. *)
+let strengthens (c_lits : int array) l (d_lits : int array) =
+  let a = Array.map (fun x -> if x = l then lit_neg l else x) c_lits in
+  Array.sort compare a;
+  subset_sorted a d_lits
+
+let subsume_pass s =
+  let changed = ref false in
+  (* Live problem clauses, literal arrays sorted (watches are rebuilt
+     after the pass, and no clause is a reason at level 0). *)
+  let live = ref [] in
+  Vec.iter (fun (c : clause) -> if not c.deleted then live := c :: !live) s.clauses;
+  let cs = Array.of_list !live in
+  Array.iter (fun (c : clause) -> Array.sort compare c.lits) cs;
+  let sigs = Array.map clause_sig cs in
+  let occ = Array.make (2 * s.nvars) [] in
+  Array.iteri
+    (fun i (c : clause) -> Array.iter (fun l -> occ.(l) <- i :: occ.(l)) c.lits)
+    cs;
+  let order = Array.init (Array.length cs) (fun i -> i) in
+  Array.sort (fun a b -> compare (Array.length cs.(a).lits) (Array.length cs.(b).lits)) order;
+  (* forward subsumption: short clauses kill the longer ones they imply *)
+  Array.iter
+    (fun i ->
+      let c = cs.(i) in
+      if not c.deleted then begin
+        let best = ref c.lits.(0) in
+        Array.iter (fun l -> if List.length occ.(l) < List.length occ.(!best) then best := l) c.lits;
+        if List.length occ.(!best) <= 1000 then
+          List.iter
+            (fun j ->
+              let d = cs.(j) in
+              if j <> i && (not d.deleted)
+                 && Array.length d.lits >= Array.length c.lits
+                 && sigs.(i) land lnot sigs.(j) = 0
+                 && subset_sorted c.lits d.lits
+              then begin
+                d.deleted <- true;
+                s.preprocessed <- s.preprocessed + 1;
+                changed := true
+              end)
+            occ.(!best)
+      end)
+    order;
+  (* self-subsuming resolution: C with l and D with ¬l, C \ {l} ⊆ D \ {¬l}:
+     the resolvent C\{l} ∨ D\{¬l} = D \ {¬l} replaces D *)
+  Array.iteri
+    (fun i (c : clause) ->
+      if (not c.deleted) && Array.length c.lits <= 20 then
+        Array.iter
+          (fun l ->
+            let nl = lit_neg l in
+            if nl < Array.length occ && List.length occ.(nl) <= 1000 then
+              List.iter
+                (fun j ->
+                  let d = cs.(j) in
+                  if j <> i && (not d.deleted)
+                     && Array.length d.lits >= Array.length c.lits
+                     && sigs.(i) land lnot (sigs.(j) lor (1 lsl (l mod 62))) = 0
+                     && strengthens c.lits l d.lits
+                  then begin
+                    let live = Array.of_list (List.filter (fun x -> x <> nl) (Array.to_list d.lits)) in
+                    s.preprocessed <- s.preprocessed + 1;
+                    changed := true;
+                    sigs.(j) <- Array.fold_left (fun acc x -> acc lor (1 lsl (x mod 62))) 0 live;
+                    if Array.length live = 1 then begin
+                      (if lit_value s live.(0) = 0 then enqueue s live.(0) None
+                       else if lit_value s live.(0) = -1 then s.ok <- false);
+                      d.deleted <- true
+                    end
+                    else d.lits <- live
+                  end)
+                occ.(nl))
+          c.lits)
+    cs;
+  !changed
+
+let pure_literal_pass s =
+  let pos = Array.make s.nvars false and neg = Array.make s.nvars false in
+  Vec.iter
+    (fun (c : clause) ->
+      if not c.deleted then
+        Array.iter
+          (fun l -> if lit_sign l then pos.(lit_var l) <- true else neg.(lit_var l) <- true)
+          c.lits)
+    s.clauses;
+  let changed = ref false in
+  for v = 0 to s.nvars - 1 do
+    if s.assign.(v) = 0 && (not s.frozen.(v)) && pos.(v) <> neg.(v) then begin
+      (* [v] occurs in live problem clauses with a single polarity, is
+         not a theory atom and cannot be assumed: fixing it to its pure
+         polarity preserves satisfiability, and the level-0 assignment
+         keeps the model exact. *)
+      enqueue s (if pos.(v) then pos_lit v else neg_lit v) None;
+      changed := true
+    end
+  done;
+  !changed
+
+let compact_clause_vec vec =
+  let kept = ref [] in
+  Vec.iter (fun (c : clause) -> if not c.deleted then kept := c :: !kept) vec;
+  let kept = List.rev !kept in
+  Vec.clear vec;
+  List.iter (fun c -> Vec.push vec c) kept
+
+let rebuild_watches s =
+  for l = 0 to (2 * s.nvars) - 1 do
+    Vec.clear s.watches.(l)
+  done;
+  Vec.iter (fun c -> attach s c) s.clauses;
+  Vec.iter (fun c -> attach s c) s.learnts
+
+let simplify s =
+  if s.ok && decision_level s = 0 then begin
+    (match propagate s with Some _ -> s.ok <- false | None -> ());
+    if s.ok
+       && (Vec.size s.clauses + Vec.size s.learnts <> s.simp_clauses
+          || Vec.size s.trail <> s.simp_trail)
+    then begin
+      (* Facts need no justification; clearing root reasons frees every
+         clause for restructuring. *)
+      for i = 0 to Vec.size s.trail - 1 do
+        s.reason.(lit_var (Vec.get s.trail i)) <- None
+      done;
+      let rounds = ref 0 in
+      let changed = ref true in
+      while s.ok && !changed && !rounds < 3 do
+        incr rounds;
+        changed := false;
+        if clean_clause_vec s s.clauses then changed := true;
+        if clean_clause_vec s s.learnts then changed := true;
+        if s.ok && subsume_pass s then changed := true;
+        if s.ok && s.pure_elim_enabled && pure_literal_pass s then changed := true;
+        if s.ok && s.qhead < Vec.size s.trail then begin
+          (* Units found above have not propagated through the (stale)
+             watches; rebuild them first, then run to fixpoint. *)
+          compact_clause_vec s.clauses;
+          compact_clause_vec s.learnts;
+          rebuild_watches s;
+          (match propagate s with Some _ -> s.ok <- false | None -> ());
+          changed := true
+        end
+      done;
+      compact_clause_vec s.clauses;
+      compact_clause_vec s.learnts;
+      rebuild_watches s;
+      s.simp_clauses <- Vec.size s.clauses + Vec.size s.learnts;
+      s.simp_trail <- Vec.size s.trail
+    end
+  end
 
 (* -- conflict analysis (first UIP) ----------------------------------------- *)
 
@@ -363,6 +657,46 @@ let lit_redundant s q =
     done;
     !ok
 
+(* Recursive (MiniSat-exact) minimization: [q] is redundant if every
+   path from its reason bottoms out in clause literals or level-0 facts.
+   [abstract_levels] is a Bloom filter of the levels present in the
+   clause — a var on a level outside it can never be absorbed.
+   Successfully explored vars stay marked in [s.seen] (memoization);
+   the caller collects them in [extra] and unmarks after use. *)
+let abstract_level s v = 1 lsl (s.level.(v) mod 61)
+
+exception Keep
+
+let lit_redundant_rec s abstract_levels extra q0 =
+  let marked = ref [] in
+  let rec go q =
+    match s.reason.(lit_var q) with
+    | None -> raise Keep
+    | Some r ->
+      for k = 1 to Array.length r.lits - 1 do
+        let l = r.lits.(k) in
+        let v = lit_var l in
+        if (not s.seen.(v)) && s.level.(v) > 0 then begin
+          if s.reason.(v) <> None && abstract_level s v land abstract_levels <> 0 then begin
+            s.seen.(v) <- true;
+            marked := v :: !marked;
+            go l
+          end
+          else raise Keep
+        end
+      done
+  in
+  match go q0 with
+  | () ->
+    extra := List.rev_append !marked !extra;
+    true
+  | exception Keep ->
+    List.iter (fun v -> s.seen.(v) <- false) !marked;
+    false
+
+let compute_lbd s lits =
+  List.length (List.sort_uniq compare (List.map (fun q -> s.level.(lit_var q)) lits))
+
 let analyze s confl =
   let learnt = ref [] in
   let path = ref 0 in
@@ -372,7 +706,17 @@ let analyze s confl =
   let dl = decision_level s in
   let expanding = ref true in
   while !expanding do
-    if !c.learnt then cla_bump s !c;
+    if !c.learnt then begin
+      cla_bump s !c;
+      (* Dynamic LBD re-scoring (Glucose): a learnt clause participating
+         in a new conflict gets its glue recomputed against the current
+         levels — clauses that keep proving useful migrate towards the
+         protected end of [reduce_db]. *)
+      if s.lbd_enabled && !c.lbd > 2 then begin
+        let l = compute_lbd s (Array.to_list !c.lits) in
+        if l < !c.lbd then !c.lbd <- l
+      end
+    end;
     let lits = !c.lits in
     let start = if !p = -1 then 0 else 1 in
     for k = start to Array.length lits - 1 do
@@ -393,7 +737,18 @@ let analyze s confl =
     decr path;
     if !path > 0 then c := reason_exn s (lit_var !p) else expanding := false
   done;
-  let tail = List.filter (fun q -> not (lit_redundant s q)) !learnt in
+  let tail =
+    if s.lbd_enabled then begin
+      let abstract_levels =
+        List.fold_left (fun acc q -> acc lor abstract_level s (lit_var q)) 0 !learnt
+      in
+      let extra = ref [] in
+      let t = List.filter (fun q -> not (lit_redundant_rec s abstract_levels extra q)) !learnt in
+      List.iter (fun v -> s.seen.(v) <- false) !extra;
+      t
+    end
+    else List.filter (fun q -> not (lit_redundant s q)) !learnt
+  in
   List.iter (fun q -> s.seen.(lit_var q) <- false) !learnt;
   let asserting = lit_neg !p in
   (* Backjump level: highest level among the tail. *)
@@ -411,17 +766,41 @@ let analyze s confl =
 let locked s (c : clause) = Array.length c.lits > 0 && s.reason.(lit_var c.lits.(0)) == Some c
 
 let reduce_db s =
-  Vec.sort_in_place (fun (a : clause) (b : clause) -> compare a.activity b.activity) s.learnts;
-  let n = Vec.size s.learnts in
-  let kept = Vec.create ~dummy:dummy_clause () in
-  for i = 0 to n - 1 do
-    let c = Vec.get s.learnts i in
-    if (i < n / 2) && (not (locked s c)) && Array.length c.lits > 2 then c.deleted <- true
-    else Vec.push kept c
-  done;
-  Vec.clear s.learnts;
-  Vec.iter (fun c -> Vec.push s.learnts c) kept
-
+  if s.lbd_enabled then begin
+    (* Glue-aware reduction: delete the worse half by (high LBD, low
+       activity), never touching locked, binary or glue (lbd <= 2)
+       clauses — they encode the tight dependencies of the search. *)
+    Vec.sort_in_place
+      (fun (a : clause) (b : clause) ->
+        if a.lbd <> b.lbd then compare b.lbd a.lbd else compare a.activity b.activity)
+      s.learnts;
+    let n = Vec.size s.learnts in
+    let kept = Vec.create ~dummy:dummy_clause () in
+    for i = 0 to n - 1 do
+      let c = Vec.get s.learnts i in
+      if i < n / 2 && (not (locked s c)) && Array.length c.lits > 2 && c.lbd > 2 then begin
+        c.deleted <- true;
+        s.lbd_deletions <- s.lbd_deletions + 1
+      end
+      else Vec.push kept c
+    done;
+    Vec.clear s.learnts;
+    Vec.iter (fun c -> Vec.push s.learnts c) kept
+  end
+  else begin
+    Vec.sort_in_place
+      (fun (a : clause) (b : clause) -> compare a.activity b.activity)
+      s.learnts;
+    let n = Vec.size s.learnts in
+    let kept = Vec.create ~dummy:dummy_clause () in
+    for i = 0 to n - 1 do
+      let c = Vec.get s.learnts i in
+      if i < n / 2 && (not (locked s c)) && Array.length c.lits > 2 then c.deleted <- true
+      else Vec.push kept c
+    done;
+    Vec.clear s.learnts;
+    Vec.iter (fun c -> Vec.push s.learnts c) kept
+  end
 
 (* Integrate a theory-learned clause at the current state without
    restarting from scratch: attach it with valid watches and backjump
@@ -443,7 +822,9 @@ let integrate_clause s lits =
      | _ -> enqueue s l None)
   | _ :: _ :: _ ->
     let arr = Array.of_list lits in
-    let c = { lits = arr; activity = 0.0; learnt = true; deleted = false } in
+    let c =
+      { lits = arr; activity = 0.0; lbd = Array.length arr; learnt = true; deleted = false }
+    in
     s.learnts_made <- s.learnts_made + 1;
     (* watch preference: true > unassigned > false by decreasing level *)
     let rank l =
@@ -532,6 +913,37 @@ let luby i =
   done;
   1 lsl !seq
 
+(* -- early-SAT detection ---------------------------------------------------- *)
+
+(* With every theory atom assigned and every problem clause satisfied,
+   the unassigned variables are don't-cares: reading them as [false]
+   (what [value_var] does for an unassigned variable) yields a total
+   model of the clause database, and — because learnt clauses are
+   consequences of the problem clauses plus the theory axioms — of the
+   learnt clauses too, once [final_check] confirms theory consistency.
+   The scan is linear in the database, so a failed attempt doubles an
+   exponential backoff before the next one. *)
+let all_problem_clauses_satisfied s =
+  let ok = ref true in
+  let n = Vec.size s.clauses in
+  let i = ref 0 in
+  while !ok && !i < n do
+    let c = Vec.get s.clauses !i in
+    if not c.deleted then begin
+      let lits = c.lits in
+      let len = Array.length lits in
+      let sat_cl = ref false in
+      let k = ref 0 in
+      while (not !sat_cl) && !k < len do
+        if lit_value s lits.(!k) = 1 then sat_cl := true;
+        incr k
+      done;
+      if not !sat_cl then ok := false
+    end;
+    incr i
+  done;
+  !ok
+
 (* -- main solve loop -------------------------------------------------------- *)
 
 let decide s =
@@ -569,6 +981,9 @@ let solve ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
   cancel_until s 0;
   s.core <- [];
   poll_stop s;
+  if s.simplify_enabled then simplify s;
+  s.scan_backoff <- 16;
+  s.next_scan_work <- 0;
   let assumps = Array.of_list assumptions in
   let n_assumps = Array.length assumps in
   (* Establish the next pending assumption as a decision.  Assumption
@@ -618,7 +1033,13 @@ let solve ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
          | [ l ] -> enqueue s l None
          | l :: _ ->
            let c =
-             { lits = Array.of_list learnt; activity = 0.0; learnt = true; deleted = false }
+             {
+               lits = Array.of_list learnt;
+               activity = 0.0;
+               lbd = compute_lbd s learnt;
+               learnt = true;
+               deleted = false;
+             }
            in
            cla_bump s c;
            s.learnts_made <- s.learnts_made + 1;
@@ -653,9 +1074,24 @@ let solve ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
           answer := Some Unsat
         | `Propagate -> ()
         | `Search ->
-          if Vec.size s.trail = s.nvars then begin
+          let total = Vec.size s.trail = s.nvars in
+          let early =
+            (not total) && s.early_sat_enabled
+            && s.important_assigned = s.n_important
+            && s.decisions + s.conflicts >= s.next_scan_work
+            &&
+            if all_problem_clauses_satisfied s then true
+            else begin
+              s.next_scan_work <- s.decisions + s.conflicts + s.scan_backoff;
+              s.scan_backoff <- min 4096 (2 * s.scan_backoff);
+              false
+            end
+          in
+          if total || early then begin
             match final_check s with
-            | [] -> answer := Some Sat
+            | [] ->
+              if early then s.early_sats <- s.early_sats + 1;
+              answer := Some Sat
             | conflict_clauses ->
               List.iter (fun c -> integrate_clause s c) conflict_clauses;
               if not s.ok then answer := Some Unsat

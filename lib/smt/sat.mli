@@ -47,6 +47,45 @@ val set_strategy : t -> strategy -> unit
 
 exception Canceled
 
+val set_simplify : t -> bool -> unit
+(** Enable the level-0 preprocessing pass (root unit propagation,
+    satisfied-clause removal, false-literal stripping, forward
+    subsumption, self-subsuming resolution), run at the start of every
+    {!solve}.  Off by default.  Every transformation is applied at
+    decision level 0, so models and unsat answers are unchanged. *)
+
+val set_pure_elim : t -> bool -> unit
+(** Additionally let the preprocessing pass fix pure literals (variables
+    occurring with a single polarity in the live clause database) at
+    level 0.  Off by default.  Unsound for variables constrained outside
+    the clause database — freeze those with {!freeze_var} — and for
+    incremental use where future clauses may introduce the missing
+    polarity; only enable it for single-shot solving. *)
+
+val set_lbd : t -> bool -> unit
+(** Score learnt clauses by literal block distance (glue): {!solve}'s
+    database reductions then delete the high-LBD half instead of the
+    low-activity half (keeping glue clauses forever), and conflict
+    clauses are minimized with the recursive (reason-graph) procedure
+    instead of the local one.  Off by default. *)
+
+val set_early_sat : t -> bool -> unit
+(** Allow {!solve} to call [final_check] on a partial assignment once
+    every variable marked {!mark_important} is assigned and every
+    problem clause is satisfied.  The remaining variables are
+    don't-cares and read as [false] via {!value_var}.  Off by default;
+    only sound when all externally-constrained variables (theory atoms)
+    are marked important. *)
+
+val freeze_var : t -> int -> unit
+(** Exempt a variable from pure-literal elimination.  Required for
+    variables with meaning outside the clause database: theory atoms and
+    assumption literals. *)
+
+val mark_important : t -> int -> unit
+(** Mark a variable as gating early-SAT detection (see
+    {!set_early_sat}).  Idempotent. *)
+
 val set_stop : t -> (unit -> bool) option -> unit
 (** Cooperative cancellation: the hook is polled every few hundred
     search steps (decisions and conflicts) inside {!solve}.  When it
@@ -133,6 +172,18 @@ val num_learnts : t -> int
 (** Learnt clauses created (conflict analysis and integrated theory
     lemmas), accumulated over every {!solve} call; deletion by the
     clause-database reduction does not decrease it. *)
+
+val num_preprocessed : t -> int
+(** Clauses removed or strengthened by the level-0 preprocessing pass
+    ({!set_simplify}), accumulated over every {!solve} call. *)
+
+val num_lbd_deletions : t -> int
+(** Learnt clauses deleted by LBD-scored database reduction
+    ({!set_lbd}), accumulated over every {!solve} call. *)
+
+val num_early_sats : t -> int
+(** [Sat] answers concluded on a partial assignment by early-SAT
+    detection ({!set_early_sat}). *)
 
 val trail_size : t -> int
 (** Current length of the assignment trail (theory-integration use). *)

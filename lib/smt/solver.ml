@@ -1,9 +1,39 @@
+type features = {
+  pg_cnf : bool;
+  preprocess : bool;
+  theory_prop : bool;
+  lbd : bool;
+}
+
+let default_features = { pg_cnf = true; preprocess = true; theory_prop = true; lbd = true }
+let no_features = { pg_cnf = false; preprocess = false; theory_prop = false; lbd = false }
+
+(* Theory solvers and atom tables built for a given snapshot of the
+   CNF's theory registries.  In incremental mode the snapshot is reused
+   across checks as long as no new atoms or theory variables appeared
+   (the common case for a session asserting purely propositional
+   activation machinery between checks); any growth rebuilds it. *)
+type tstate = {
+  zero : int;  (* the distance-graph node playing "constant 0" *)
+  idl : Idl_inc.t;
+  simplex : Simplex.t;
+  rat_atoms : (int * Cnf.rat_atom) array;
+  atom_of_var : Cnf.int_atom option array;
+  n_int_atoms : int;
+  n_rat_atoms : int;
+  n_int_vars : int;
+  n_rat_vars : int;
+}
+
 type t = {
   cnf : Cnf.t;
   incremental : bool;
+  features : features;
   mutable theory_rounds : int;
+  mutable theory_props : int;
   mutable checks : int;
   mutable last_core : Term.t list;
+  mutable tcache : tstate option;
 }
 
 type result = Sat of Model.t | Unsat
@@ -27,19 +57,98 @@ type stats = {
   restarts : int;
   learned_clauses : int;
   theory_rounds : int;
+  theory_propagations : int;
+  preprocessed_clauses : int;
+  lbd_reductions : int;
   checks : int;
 }
 
-let create ?(incremental = false) ?strategy () =
-  let s = { cnf = Cnf.create (); incremental; theory_rounds = 0; checks = 0; last_core = [] } in
-  (match strategy with None -> () | Some st -> Sat.set_strategy (Cnf.sat s.cnf) st);
-  s
+let create ?(incremental = false) ?strategy ?(features = default_features) () =
+  let cnf = Cnf.create ~pg:features.pg_cnf () in
+  let sat = Cnf.sat cnf in
+  (match strategy with None -> () | Some st -> Sat.set_strategy sat st);
+  Sat.set_simplify sat features.preprocess;
+  (* Pure-literal elimination is unsound across incremental checks: a
+     later assertion or assumption may reintroduce the missing polarity
+     of an eliminated variable.  Single-shot solving only. *)
+  Sat.set_pure_elim sat (features.preprocess && not incremental);
+  Sat.set_lbd sat features.lbd;
+  Sat.set_early_sat sat features.theory_prop;
+  {
+    cnf;
+    incremental;
+    features;
+    theory_rounds = 0;
+    theory_props = 0;
+    checks = 0;
+    last_core = [];
+    tcache = None;
+  }
 
 let set_stop s f = Sat.set_stop (Cnf.sat s.cnf) f
 
 let assert_term s term = Cnf.assert_term s.cnf term
 let assert_implied s ~guard term = Cnf.assert_implied s.cnf ~guard term
 let unsat_core s = s.last_core
+
+(* Build (or reuse) the theory state for the atoms registered so far. *)
+let theory_state s =
+  let c = s.cnf in
+  let sat = Cnf.sat c in
+  let n_int_atoms = List.length (Cnf.int_atoms c) in
+  let n_rat_atoms = List.length (Cnf.rat_atoms c) in
+  let n_int_vars = Cnf.num_int_vars c in
+  let n_rat_vars = Cnf.num_rat_vars c in
+  let reusable =
+    match s.tcache with
+    | Some ts ->
+      s.incremental && ts.n_int_atoms = n_int_atoms && ts.n_rat_atoms = n_rat_atoms
+      && ts.n_int_vars = n_int_vars && ts.n_rat_vars = n_rat_vars
+    | None -> false
+  in
+  match s.tcache with
+  | Some ts when reusable ->
+    (* same atoms as last check: keep the solvers, just clear the IDL
+       assertion stack (positions are per-check trail indices) *)
+    Idl_inc.backtrack ts.idl ~trail_size:0;
+    ts
+  | _ ->
+    let zero = n_int_vars in
+    let rat_atoms = Array.of_list (Cnf.rat_atoms c) in
+    let simplex =
+      Simplex.create ~nvars:n_rat_vars
+        (Array.map
+           (fun ((_, a) : int * Cnf.rat_atom) : Simplex.atom ->
+             { coeffs = a.rcoeffs; bound = a.rbound })
+           rat_atoms)
+    in
+    let atom_of_var = Array.make (max (Sat.nvars sat) 1) None in
+    List.iter
+      (fun ((v, a) : int * Cnf.int_atom) -> atom_of_var.(v) <- Some a)
+      (Cnf.int_atoms c);
+    let idl = Idl_inc.create ~nvars:(zero + 1) in
+    if s.features.theory_prop then
+      List.iter
+        (fun ((v, a) : int * Cnf.int_atom) ->
+          let x = if a.Cnf.ix < 0 then zero else a.Cnf.ix in
+          let y = if a.Cnf.iy < 0 then zero else a.Cnf.iy in
+          Idl_inc.register_atom idl ~x ~y ~k:a.Cnf.ik ~var:v)
+        (Cnf.int_atoms c);
+    let ts =
+      {
+        zero;
+        idl;
+        simplex;
+        rat_atoms;
+        atom_of_var;
+        n_int_atoms;
+        n_rat_atoms;
+        n_int_vars;
+        n_rat_vars;
+      }
+    in
+    s.tcache <- Some ts;
+    ts
 
 let check ?(assumptions = []) s =
   if (not s.incremental) && s.checks > 0 then
@@ -53,28 +162,36 @@ let check ?(assumptions = []) s =
      and clauses, which must precede the theory tables built below. *)
   let assumption_lits = List.map (fun t -> (Cnf.lit_of c t, t)) assumptions in
   let sat = Cnf.sat c in
-  (* The theory solvers are rebuilt on every check, sized to the atoms
-     registered so far: terms asserted between checks may add theory
-     variables and atoms.  Amortization lives in the SAT core (clause
-     database, learnt clauses, activities) and in the CNF cache. *)
-  let zero = Cnf.num_int_vars c in
-  let rat_atoms = Array.of_list (Cnf.rat_atoms c) in
-  let simplex =
-    Simplex.create ~nvars:(Cnf.num_rat_vars c)
-      (Array.map
-         (fun ((_, a) : int * Cnf.rat_atom) : Simplex.atom ->
-           { coeffs = a.rcoeffs; bound = a.rbound })
-         rat_atoms)
-  in
-  (* dense var -> difference atom table *)
-  let atom_of_var = Array.make (max (Sat.nvars sat) 1) None in
+  let ts = theory_state s in
+  let zero = ts.zero in
+  let idl = ts.idl in
+  let rat_atoms = ts.rat_atoms in
+  (* [atom_of_var] was sized when the cache was built; SAT variables
+     allocated since (non-atoms, or the check would have rebuilt) fall
+     off its end. *)
+  let atom_of v = if v < Array.length ts.atom_of_var then ts.atom_of_var.(v) else None in
+  (* Theory atoms must survive pure-literal elimination (they are
+     constrained by the theory, not only the clauses) and gate early-SAT
+     detection (an unassigned atom could still be refuted). *)
   List.iter
-    (fun ((v, a) : int * Cnf.int_atom) -> atom_of_var.(v) <- Some a)
+    (fun ((v, _) : int * Cnf.int_atom) ->
+      Sat.freeze_var sat v;
+      Sat.mark_important sat v)
     (Cnf.int_atoms c);
-  let idl = Idl_inc.create ~nvars:(zero + 1) in
+  Array.iter
+    (fun ((v, _) : int * Cnf.rat_atom) ->
+      Sat.freeze_var sat v;
+      Sat.mark_important sat v)
+    rat_atoms;
+  List.iter (fun (l, _) -> Sat.freeze_var sat (Sat.lit_var l)) assumption_lits;
   let theory_pos = ref 0 in
   let int_model = ref [||] in
   let rat_model = ref [||] in
+  (* Ladder lemmas discovered while asserting atoms, flushed through the
+     next partial/final check return (the SAT core integrates them as
+     asserting learnt clauses, i.e. theory propagations with the lemma
+     as reason). *)
+  let pending = ref [] in
   (* Process trail entries [!theory_pos, trail_size): assert difference
      atoms incrementally; a failed assertion yields a conflict clause. *)
   let process_new sat =
@@ -84,7 +201,7 @@ let check ?(assumptions = []) s =
       let i = !theory_pos in
       let lit = Sat.trail_lit sat i in
       let v = Sat.lit_var lit in
-      (match atom_of_var.(v) with
+      (match atom_of v with
        | None -> ()
        | Some a ->
          let x = if a.Cnf.ix < 0 then zero else a.Cnf.ix in
@@ -94,7 +211,29 @@ let check ?(assumptions = []) s =
            else { Idl_inc.x = y; y = x; k = -a.Cnf.ik - 1; tag = Sat.neg_lit v }
          in
          (match Idl_inc.assert_constr idl ~trail_pos:i constr with
-          | Ok () -> ()
+          | Ok () ->
+            if s.features.theory_prop then begin
+              (* Ladder propagation: x-y<=k true forces every weaker
+                 bound on the pair; false forces every stronger bound
+                 false.  Emitting the binary lemma towards the adjacent
+                 unassigned rung lets unit propagation (with the lemma
+                 as reason) do what would otherwise each be a full
+                 theory conflict; adjacency composes, so the whole
+                 ladder is eventually covered. *)
+              let below, above = Idl_inc.ladder_neighbors idl ~x ~y ~k:a.Cnf.ik in
+              if Sat.lit_sign lit then (
+                match above with
+                | Some (_, v') when not (Sat.var_assigned sat v') ->
+                  pending := [ Sat.neg_lit v; Sat.pos_lit v' ] :: !pending;
+                  s.theory_props <- s.theory_props + 1
+                | _ -> ())
+              else
+                match below with
+                | Some (_, v') when not (Sat.var_assigned sat v') ->
+                  pending := [ Sat.neg_lit v'; Sat.pos_lit v ] :: !pending;
+                  s.theory_props <- s.theory_props + 1
+                | _ -> ()
+            end
           | Error tags ->
             s.theory_rounds <- s.theory_rounds + 1;
             conflict := Some (List.map Sat.lit_neg tags)));
@@ -111,7 +250,7 @@ let check ?(assumptions = []) s =
           if (not partial) || Sat.var_assigned sat v then
             assertions := (i, Sat.value_var sat v, a.rstrict) :: !assertions)
         rat_atoms;
-      match Simplex.check simplex ~assertions:!assertions with
+      match Simplex.check ts.simplex ~assertions:!assertions with
       | Error idxs ->
         s.theory_rounds <- s.theory_rounds + 1;
         Some
@@ -125,26 +264,35 @@ let check ?(assumptions = []) s =
         None
     end
   in
+  let drain_pending () =
+    let lemmas = !pending in
+    pending := [];
+    lemmas
+  in
   let partial_calls = ref 0 in
   let partial_check sat =
     match process_new sat with
-    | Some clause -> [ clause ]
+    | Some clause -> clause :: drain_pending ()
     | None ->
       incr partial_calls;
+      let lemmas = drain_pending () in
       if Array.length rat_atoms > 0 && !partial_calls mod 64 = 0 then begin
-        match simplex_check sat ~partial:true with Some cl -> [ cl ] | None -> []
+        match simplex_check sat ~partial:true with Some cl -> cl :: lemmas | None -> lemmas
       end
-      else []
+      else lemmas
   in
   let final_check sat =
     match process_new sat with
-    | Some clause -> [ clause ]
+    | Some clause -> clause :: drain_pending ()
     | None ->
-      (match simplex_check sat ~partial:false with
-       | Some cl -> [ cl ]
-       | None ->
-         int_model := Idl_inc.model idl;
-         [])
+      (match drain_pending () with
+       | _ :: _ as lemmas -> lemmas
+       | [] ->
+         (match simplex_check sat ~partial:false with
+          | Some cl -> [ cl ]
+          | None ->
+            int_model := Idl_inc.model idl;
+            []))
   in
   let on_backtrack n =
     Idl_inc.backtrack idl ~trail_size:n;
@@ -203,5 +351,8 @@ let stats s =
     restarts = Sat.num_restarts sat;
     learned_clauses = Sat.num_learnts sat;
     theory_rounds = s.theory_rounds;
+    theory_propagations = s.theory_props;
+    preprocessed_clauses = Sat.num_preprocessed sat;
+    lbd_reductions = Sat.num_lbd_deletions sat;
     checks = s.checks;
   }

@@ -12,9 +12,11 @@
     activities, saved phases) is retained across checks, so a suite of
     queries against one large formula amortizes the search; terms
     converted for an earlier check are deduplicated by the CNF cache.
-    The theory solvers are backtracked to level 0 and re-seeded on each
-    call (their atoms keep their SAT variables, so theory lemmas learnt
-    as clauses also carry over).  Assumptions make queries retractable:
+    The theory solvers are reused across checks as long as no new
+    theory atoms or variables appeared in between (only their assertion
+    stacks are cleared); any growth rebuilds them from the enlarged
+    registries.  Their atoms keep their SAT variables either way, so
+    theory lemmas learnt as clauses carry over.  Assumptions make queries retractable:
     guard a query's assertions behind a fresh activation variable with
     {!assert_implied} and pass the variable to {!check}. *)
 
@@ -33,6 +35,35 @@ type strategy = Sat.strategy = {
 
 val default_strategy : strategy
 
+type features = {
+  pg_cnf : bool;
+      (** polarity-aware (Plaisted–Greenbaum) CNF conversion: And/Or
+          definitions emit only the implication direction they are used
+          under (see {!Cnf.create}) *)
+  preprocess : bool;
+      (** level-0 preprocessing before each search: root unit
+          propagation, subsumption, self-subsuming resolution, and (for
+          single-shot solvers) pure-literal elimination *)
+  theory_prop : bool;
+      (** difference-logic theory propagation (ladder lemmas pushed to
+          the SAT core as propagations with theory reasons) and
+          early-SAT detection once every theory atom is assigned *)
+  lbd : bool;
+      (** LBD (glue) scoring for learnt-clause deletion and recursive
+          conflict-clause minimization *)
+}
+(** Solver-throughput optimizations, independently toggleable.  Every
+    combination is sound and complete and yields identical verdicts —
+    they only change how fast the search converges and which of the
+    (possibly many) models is found. *)
+
+val default_features : features
+(** All four optimizations on. *)
+
+val no_features : features
+(** All four off: the historical solver behavior, kept as the ablation
+    baseline. *)
+
 exception Canceled
 (** Raised by {!check} when the {!set_stop} hook fires.  The solver
     remains usable: learnt clauses are kept and a later {!check}
@@ -48,15 +79,24 @@ type stats = {
   restarts : int;
   learned_clauses : int;  (** learnt clauses created, incl. theory lemmas *)
   theory_rounds : int;  (** number of theory conflicts raised *)
+  theory_propagations : int;
+      (** ladder lemmas pushed to the SAT core by difference-logic
+          theory propagation *)
+  preprocessed_clauses : int;
+      (** clauses removed or strengthened by level-0 preprocessing *)
+  lbd_reductions : int;  (** learnt clauses deleted by LBD-scored reduction *)
   checks : int;  (** {!check} calls answered so far *)
 }
 (** Counters accumulate across every {!check} of an incremental
     solver; they are never reset. *)
 
-val create : ?incremental:bool -> ?strategy:strategy -> unit -> t
+val create : ?incremental:bool -> ?strategy:strategy -> ?features:features -> unit -> t
 (** [incremental] (default [false]) allows any number of {!check}
     calls, interleaved with new assertions.  [strategy] (default
-    {!default_strategy}) steers the SAT search. *)
+    {!default_strategy}) steers the SAT search.  [features] (default
+    {!default_features}) selects the solver-throughput optimizations;
+    in incremental mode, pure-literal elimination is disabled
+    regardless (it is unsound across checks). *)
 
 val set_stop : t -> (unit -> bool) option -> unit
 (** Cooperative cancellation/budget hook: polled every few hundred SAT
