@@ -4,12 +4,17 @@
 # beat N fresh solvers with identical verdicts), the parallel
 # smoke benchmark (sharded -j2 run must agree with the sequential
 # session on every verdict, and beat it by >=1.3x when the machine
-# has at least 2 cores), and the solver-ablation smoke benchmark
+# has at least 2 cores), the solver-ablation smoke benchmark
 # (all 2^4-grid corners must give identical verdicts; the all-on
 # speedup is additionally gated when the baseline suite is slow
-# enough for the ratio to be signal rather than timer noise).
+# enough for the ratio to be signal rather than timer noise), and
+# the certification smoke benchmark (every verdict of the enterprise
+# and fattree suites must carry a positive certificate — UNSAT proofs
+# replayed through the independent checker, SAT models evaluated and
+# simulated — with zero Uncertified verdicts and verdict agreement
+# against the uncertified pass).
 
-.PHONY: all build test lint bench-smoke bench-parallel-smoke bench-solver-smoke check clean
+.PHONY: all build test lint fuzz coverage bench-smoke bench-parallel-smoke bench-solver-smoke certify-smoke check clean
 
 all: build
 
@@ -25,6 +30,31 @@ lint: build
 	  dune exec bin/minesweeper_cli.exe -- lint $$f || exit 1; \
 	done
 
+# Long-budget differential fuzzing: QCheck mutations of generated
+# enterprise/fattree configurations, verified with --certify and
+# cross-checked against the concrete simulator.  `dune runtest` runs
+# the same property with a small bounded sample; this raises it.
+fuzz: build
+	MS_FUZZ_COUNT=$${MS_FUZZ_COUNT:-60} dune exec test/test_fuzz.exe
+
+# Line/branch coverage of the test suite via bisect_ppx.  The library
+# stanzas carry `(instrumentation (backend bisect_ppx))`, which is
+# inert unless dune is invoked with --instrument-with, so the target
+# degrades honestly to a skip message on containers without the
+# package installed (this repo's CI image does not ship it).
+coverage:
+	@if ocamlfind query bisect_ppx >/dev/null 2>&1; then \
+	  mkdir -p _coverage && rm -f _coverage/*.coverage; \
+	  BISECT_FILE=$$(pwd)/_coverage/bisect dune runtest --instrument-with bisect_ppx --force && \
+	  bisect-ppx-report html --coverage-path _coverage && \
+	  bisect-ppx-report summary --coverage-path _coverage; \
+	else \
+	  echo "coverage: bisect_ppx is not installed; skipping (the dune"; \
+	  echo "instrumentation stanzas are inert without --instrument-with,"; \
+	  echo "so no build configuration changes are needed to enable it"; \
+	  echo "later: opam install bisect_ppx, then re-run make coverage)"; \
+	fi
+
 bench-smoke: build
 	dune exec bench/main.exe -- batch --smoke
 
@@ -34,7 +64,10 @@ bench-parallel-smoke: build
 bench-solver-smoke: build
 	dune exec bench/main.exe -- solver --smoke
 
-check: build test lint bench-smoke bench-parallel-smoke bench-solver-smoke
+certify-smoke: build
+	dune exec bench/main.exe -- certify --smoke
+
+check: build test lint bench-smoke bench-parallel-smoke bench-solver-smoke certify-smoke
 
 clean:
 	dune clean

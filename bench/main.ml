@@ -26,10 +26,18 @@
                  (--smoke: verdict agreement always gated, all-on
                  speedup gated only when the baseline is slow enough
                  to measure)
+     certify     certification overhead: the enterprise + fattree
+                 suites answered plain and with --certify (UNSAT
+                 proofs replayed through the independent checker, SAT
+                 models evaluated and simulated); writes
+                 BENCH_certify.json.  Verdict agreement, zero
+                 uncertified verdicts, and both certificate kinds are
+                 always gated; the 2x overhead budget is gated above a
+                 noise floor
      micro       Bechamel micro-benchmarks of the SMT substrate
      all         everything above
 
-   Usage: dune exec bench/main.exe -- [fig7|fig8|opts|violations|batch|parallel|solver|micro|all] [--full|--smoke]
+   Usage: dune exec bench/main.exe -- [fig7|fig8|opts|violations|batch|parallel|solver|certify|micro|all] [--full|--smoke]
 
    By default the expensive sweeps are subsampled so the whole harness
    finishes in minutes; pass --full for the complete paper-scale runs
@@ -747,6 +755,178 @@ let solver_bench ~smoke () =
         (off_total /. on_total)
   end
 
+(* ---------------- certification overhead ---------------- *)
+
+(* Certified verdicts: every query of the enterprise + fattree suites
+   answered twice — plain, then with [Options.certify] so UNSAT
+   verdicts replay their DRAT-style trace through the independent
+   checker and SAT verdicts are model-evaluated and replayed through
+   the concrete simulator.  A deliberately-violated isolation query
+   guarantees the SAT side is exercised even when both suites hold.
+   Gated: verdict agreement between the passes, every certified verdict
+   carrying a positive certificate (zero Uncertified, zero failures),
+   both certificate kinds appearing, and — above a noise floor —
+   certification costing at most 2x the plain solve time. *)
+let certify_bench ~smoke () =
+  print_endline "== certified verdicts: independent-checker overhead and proof sizes ==";
+  let routers = if smoke then 8 else if !full then 16 else 12 in
+  let pods = if smoke then 2 else 4 in
+  let seed = 3 in
+  let ent = G.Enterprise.make ~seed ~routers ~inject:G.Enterprise.no_bugs () in
+  let ft = G.Fattree.make ~pods in
+  let dst_tor = List.hd ft.G.Fattree.tors in
+  let other_tors = List.filter (fun t -> t <> dst_tor) ft.G.Fattree.tors in
+  let dest = MS.Property.Subnet (dst_tor, ft.G.Fattree.tor_subnet dst_tor) in
+  let violated_suite =
+    (* isolating a ToR that can reach the destination is false, so this
+       query yields a model whose counterexample must replay cleanly *)
+    [
+      ( "isolation-should-fail",
+        fun enc -> MS.Property.isolation enc ~sources:[ List.hd other_tors ] dest );
+    ]
+  in
+  let nets =
+    [
+      ("ent", ent.G.Enterprise.network, batch_suite ent);
+      ("ft", ft.G.Fattree.network, fattree_suite ft @ violated_suite);
+    ]
+  in
+  let nq = List.fold_left (fun a (_, _, qs) -> a + List.length qs) 0 nets in
+  Printf.printf "   enterprise seed=%d routers=%d + fattree pods=%d: %d queries per pass\n%!"
+    seed routers pods nq;
+  let run_all opts =
+    List.concat_map
+      (fun (nname, net, suite) ->
+        let enc = MS.Encode.build net opts in
+        List.map
+          (fun (qname, make) ->
+            MS.Verify.run_query enc (MS.Verify.Query.v (nname ^ ":" ^ qname) make))
+          suite)
+      nets
+  in
+  (* min wall time over two passes filters scheduler/GC noise, exactly
+     as in the solver ablation; the work per pass is deterministic *)
+  let passes = 2 in
+  let min_passes opts =
+    let rs = ref (run_all opts) in
+    for _ = 2 to passes do
+      rs :=
+        List.map2
+          (fun (a : MS.Verify.Report.t) (b : MS.Verify.Report.t) ->
+            if b.MS.Verify.Report.wall_ms < a.MS.Verify.Report.wall_ms then b else a)
+          !rs (run_all opts)
+    done;
+    !rs
+  in
+  let base = min_passes MS.Options.default in
+  let cert = min_passes (MS.Options.with_certify MS.Options.default) in
+  let proofs = ref 0 and models = ref 0 and uncert = ref 0 and failed = ref 0 in
+  List.iter2
+    (fun (b : MS.Verify.Report.t) (c : MS.Verify.Report.t) ->
+      let detail =
+        match c.MS.Verify.Report.certificate with
+        | MS.Verify.Report.Checked_unsat_proof { trace_steps; clauses; lemmas } ->
+          incr proofs;
+          Printf.sprintf "proof: %d steps, %d clauses, %d lemmas" trace_steps clauses lemmas
+        | MS.Verify.Report.Checked_model ->
+          incr models;
+          "model evaluated + replayed"
+        | MS.Verify.Report.Uncertified ->
+          incr uncert;
+          "UNCERTIFIED"
+        | MS.Verify.Report.Certification_failed msg ->
+          incr failed;
+          "FAILED: " ^ msg
+      in
+      Printf.printf "   %-28s %-9s %8.1f -> %8.1f ms  (%s)\n%!" c.MS.Verify.Report.label
+        (MS.Verify.Report.verdict_name c.MS.Verify.Report.verdict)
+        b.MS.Verify.Report.wall_ms c.MS.Verify.Report.wall_ms detail)
+    base cert;
+  let total rs =
+    List.fold_left (fun a (r : MS.Verify.Report.t) -> a +. r.MS.Verify.Report.wall_ms) 0.0 rs
+  in
+  let base_total = total base and cert_total = total cert in
+  let overhead = cert_total /. base_total in
+  let verdict_sig rs =
+    List.map
+      (fun (r : MS.Verify.Report.t) ->
+        (r.MS.Verify.Report.label, MS.Verify.Report.verdict_name r.MS.Verify.Report.verdict))
+      rs
+  in
+  let agree = verdict_sig base = verdict_sig cert in
+  Printf.printf
+    "   plain %.1f ms | certified %.1f ms | overhead %.2fx | %d proofs checked, %d models \
+     replayed\n\
+     %!"
+    base_total cert_total overhead !proofs !models;
+  if not agree then print_endline "   !! verdict mismatch between plain and certified passes";
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"networks\": { \"enterprise\": { \"seed\": %d, \"routers\": %d }, \"fattree\": { \
+        \"pods\": %d } },\n"
+       seed routers pods);
+  Buffer.add_string buf "  \"queries\": [\n";
+  List.iteri
+    (fun i ((b : MS.Verify.Report.t), (c : MS.Verify.Report.t)) ->
+      (* the certified side is Verify.Report.to_json, which renders the
+         certificate object — same schema as `verify --format json` *)
+      Buffer.add_string buf
+        (Printf.sprintf "    { \"name\": \"%s\", \"plain_ms\": %.2f, \"certified\": %s }%s\n"
+           (MS.Verify.Report.json_escape c.MS.Verify.Report.label)
+           b.MS.Verify.Report.wall_ms
+           (MS.Verify.Report.to_json c)
+           (if i = nq - 1 then "" else ",")))
+    (List.combine base cert);
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf (Printf.sprintf "  \"plain_total_ms\": %.2f,\n" base_total);
+  Buffer.add_string buf (Printf.sprintf "  \"certified_total_ms\": %.2f,\n" cert_total);
+  Buffer.add_string buf (Printf.sprintf "  \"overhead\": %.3f,\n" overhead);
+  Buffer.add_string buf (Printf.sprintf "  \"unsat_proofs_checked\": %d,\n" !proofs);
+  Buffer.add_string buf (Printf.sprintf "  \"models_replayed\": %d,\n" !models);
+  Buffer.add_string buf (Printf.sprintf "  \"uncertified\": %d,\n" !uncert);
+  Buffer.add_string buf (Printf.sprintf "  \"certification_failures\": %d,\n" !failed);
+  Buffer.add_string buf (Printf.sprintf "  \"verdicts_agree\": %b\n" agree);
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_certify.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_endline "   wrote BENCH_certify.json";
+  (* correctness gates hold in every mode: they are deterministic *)
+  if not agree then begin
+    prerr_endline "bench certify: verdict mismatch between plain and certified passes";
+    exit 1
+  end;
+  if !uncert > 0 || !failed > 0 then begin
+    Printf.eprintf "bench certify: %d uncertified verdict(s), %d certification failure(s)\n"
+      !uncert !failed;
+    exit 1
+  end;
+  if !proofs = 0 || !models = 0 then begin
+    Printf.eprintf
+      "bench certify: suite exercised only one certificate kind (%d proofs, %d models)\n"
+      !proofs !models;
+    exit 1
+  end;
+  (* the overhead ratio is only signal when the plain pass is slow
+     enough to measure *)
+  let floor_ms = 300.0 in
+  let target = 2.0 in
+  if base_total >= floor_ms && overhead > target then begin
+    Printf.eprintf "bench certify: overhead %.2fx above the %.1fx budget (plain %.1f ms)\n"
+      overhead target base_total;
+    exit 1
+  end;
+  if base_total < floor_ms then
+    Printf.printf
+      "   (overhead gate skipped: plain pass %.1f ms under the %.0f ms floor — agreement and \
+       certificates still enforced)\n%!"
+      base_total floor_ms
+  else
+    Printf.printf "   certify OK: identical verdicts, every verdict certified, overhead %.2fx\n%!"
+      overhead
+
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
 let micro () =
@@ -836,6 +1016,7 @@ let () =
    | "batch" -> batch ~smoke ()
    | "parallel" -> parallel ~smoke ()
    | "solver" -> solver_bench ~smoke ()
+   | "certify" -> certify_bench ~smoke ()
    | "all" ->
      fig7 ();
      print_newline ();
@@ -851,9 +1032,12 @@ let () =
      print_newline ();
      solver_bench ~smoke ();
      print_newline ();
+     certify_bench ~smoke ();
+     print_newline ();
      micro ()
    | other ->
      Printf.eprintf
-       "unknown benchmark %s (fig7|fig8|opts|violations|batch|parallel|solver|micro|all)\n" other;
+       "unknown benchmark %s (fig7|fig8|opts|violations|batch|parallel|solver|certify|micro|all)\n"
+       other;
      exit 2);
   Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

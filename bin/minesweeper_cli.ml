@@ -130,11 +130,22 @@ let verify_cmd =
       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
       & info [ "format"; "f" ] ~doc:"Output format: text or json.")
   in
+  let certify =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Certify every verdict independently: replay UNSAT proofs through the standalone \
+             checker (theory lemmas re-justified) and validate counterexamples by model \
+             evaluation plus concrete simulator replay. A verdict whose certificate fails \
+             makes the exit status 4.")
+  in
   let run file property sources dst_device dst_prefix bound devices max_len failures naive slice
-        no_lint allowed batch jobs timeout portfolio format =
+        no_lint allowed batch jobs timeout portfolio format certify =
     let net = load_network file in
     let opts = opts_of ~slice naive failures in
     let opts = if no_lint then { opts with MS.Options.preflight_lint = false } else opts in
+    let opts = if certify then MS.Options.with_certify opts else opts in
     let enc =
       try MS.Encode.build net opts with
       | Analysis.Lint.Lint_errors errs ->
@@ -246,8 +257,20 @@ let verify_cmd =
                  Printf.sprintf "  [w%d]" r.MS.Verify.Report.worker
                else ""
            in
-           Printf.printf "  %-36s %-9s %8.1f ms%s\n%!" r.MS.Verify.Report.label display
-             r.MS.Verify.Report.wall_ms tag;
+           let cert_tag =
+             match r.MS.Verify.Report.certificate with
+             | MS.Verify.Report.Uncertified -> ""
+             | MS.Verify.Report.Checked_unsat_proof { clauses; lemmas; _ } ->
+               Printf.sprintf "  [proof: %d clauses, %d lemmas]" clauses lemmas
+             | MS.Verify.Report.Checked_model -> "  [model replayed]"
+             | MS.Verify.Report.Certification_failed _ -> "  [CERTIFICATION FAILED]"
+           in
+           Printf.printf "  %-36s %-9s %8.1f ms%s%s\n%!" r.MS.Verify.Report.label display
+             r.MS.Verify.Report.wall_ms tag cert_tag;
+           (match r.MS.Verify.Report.certificate with
+            | MS.Verify.Report.Certification_failed msg ->
+              Printf.printf "    certification: %s\n" msg
+            | _ -> ());
            match r.MS.Verify.Report.verdict with
            | MS.Verify.Report.Violated cx -> print_string (MS.Counterexample.to_string cx)
            | MS.Verify.Report.Error e -> Printf.printf "    error: %s\n" e
@@ -268,13 +291,16 @@ let verify_cmd =
       `P "1 — at least one property is violated (dominates timeouts and worker errors).";
       `P "2 — usage, parse, or lint error: nothing was verified.";
       `P "3 — a query timed out or a worker failed, and nothing was violated.";
+      `P
+        "4 — with $(b,--certify): a verdict's independent certificate failed (dominates every \
+         other status; the verdict cannot be trusted in either direction).";
     ]
   in
   Cmd.v (Cmd.info "verify" ~man ~doc:"Verify a property of a configuration.")
     Term.(
       const run $ file_arg $ property $ sources $ dst_device $ dst_prefix $ bound $ devices
       $ max_len $ failures $ naive $ slice $ no_lint $ allowed $ batch $ jobs $ timeout
-      $ portfolio $ format)
+      $ portfolio $ format $ certify)
 
 (* ---- lint ---- *)
 

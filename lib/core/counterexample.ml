@@ -79,6 +79,97 @@ let decode (enc : Encode.t) (model : Model.t) : t =
     forwarding;
   }
 
+(* {2 Concrete replay}
+
+   A Sat verdict's model describes an environment (external
+   announcements, failed links) and a claimed stable forwarding state.
+   [replay] re-creates that environment concretely, runs the reference
+   control-plane simulator on it, and compares the reachability every
+   device gets under the simulator's data plane with the reachability
+   the counterexample's forwarding edges claim.  Agreement means the
+   symbolic stable state is one the concrete protocol dynamics actually
+   produce — independent, end-to-end evidence for the verdict. *)
+
+let to_env (enc : Encode.t) (cx : t) : Routing.Simulator.env =
+  let devices = Encode.devices enc in
+  let is_device d = List.mem d devices in
+  let internal_failures, external_failures =
+    List.partition (fun (a, b) -> is_device a && is_device b) cx.failures
+  in
+  let peering_failed at peer =
+    List.exists (fun (a, b) -> (a = at && b = peer) || (a = peer && b = at)) external_failures
+  in
+  let external_ads =
+    List.filter_map
+      (fun a ->
+        (* a failed external peering is behaviourally the peer not
+           announcing, so its announcements are dropped rather than
+           turned into a failed link the simulator would not know *)
+        if peering_failed a.cx_at a.cx_peer then None
+        else
+          match List.assoc_opt a.cx_peer (Encode.external_peers enc a.cx_at) with
+          | None -> None
+          | Some ip ->
+            let plen = max 0 (min 32 a.cx_plen) in
+            Some
+              ( a.cx_at,
+                ip,
+                {
+                  Routing.Simulator.adv_prefix = Net.Prefix.make cx.dst_ip plen;
+                  adv_path_len = a.cx_metric;
+                  adv_med = a.cx_med;
+                  adv_communities = Net.Community.Set.of_list a.cx_comms;
+                } ))
+      cx.announcements
+  in
+  { Routing.Simulator.external_ads; failed_links = internal_failures }
+
+(* Reachability claimed by the counterexample's forwarding edges: a
+   packet at [d] is delivered iff some chain of active data-plane edges
+   reaches [To_deliver] or [To_external] (leaving the network counts as
+   delivery, matching {!Routing.Dataplane.reachable}).  All ECMP
+   branches are explored; a cycle terminates that branch without
+   delivering, with a per-path visited set exactly like the concrete
+   trace walk. *)
+let claims_reachable (cx : t) =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (d, h) -> Hashtbl.add tbl d h) cx.forwarding;
+  fun start ->
+    let rec go seen d =
+      (not (List.mem d seen))
+      && List.exists
+           (function
+             | Nexthop.To_deliver | Nexthop.To_external _ -> true
+             | Nexthop.To_device d' -> go (d :: seen) d'
+             | Nexthop.To_drop -> false)
+           (Hashtbl.find_all tbl d)
+    in
+    go [] start
+
+let replay (enc : Encode.t) (cx : t) : (unit, string) result =
+  let net = Encode.network enc in
+  let env = to_env enc cx in
+  let state = Routing.Simulator.run net env in
+  if not (Routing.Simulator.converged state) then
+    Error "simulator did not converge on the counterexample environment"
+  else begin
+    let claimed = claims_reachable cx in
+    let mismatch =
+      List.find_opt
+        (fun d ->
+          claimed d <> Routing.Dataplane.reachable net state ~src:d ~dst:cx.dst_ip)
+        (Encode.devices enc)
+    in
+    match mismatch with
+    | None -> Ok ()
+    | Some d ->
+      Error
+        (Printf.sprintf
+           "replay disagrees at %s: counterexample claims dst %s is %s there, the simulator says otherwise"
+           d (Net.Ipv4.to_string cx.dst_ip)
+           (if claimed d then "reachable" else "unreachable"))
+  end
+
 let pp fmt t =
   let open Format in
   fprintf fmt "packet: dst=%s src=%s port=%d@." (Net.Ipv4.to_string t.dst_ip)

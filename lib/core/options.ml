@@ -52,6 +52,14 @@ type t = {
           used by every solver created for this encoding.  Any
           combination yields the same verdicts; [bench solver] ablates
           them. *)
+  certify : bool;
+      (** Certify every verdict independently: solvers record a
+          DRAT-style proof trace, Unsat answers are replayed through the
+          [Proof] checker (with theory lemmas re-justified by standalone
+          solvers), and Sat answers are validated by model evaluation
+          over the original terms plus counterexample replay through the
+          concrete routing simulator.  Results land in
+          [Verify.Report.certificate]; verdicts are unchanged. *)
 }
 
 let default =
@@ -66,6 +74,7 @@ let default =
     lint_slice = false;
     strategy = Smt.Solver.default_strategy;
     solver_features = Smt.Solver.default_features;
+    certify = false;
   }
 
 let naive = { default with hoist_prefixes = false; slice_unused = false; merge_filters = false; merge_dataplane = false }
@@ -74,6 +83,7 @@ let with_failures k t = { t with max_failures = Some k }
 let with_slicing t = { t with lint_slice = true }
 let with_strategy st t = { t with strategy = st }
 let with_features f t = { t with solver_features = f }
+let with_certify t = { t with certify = true }
 
 (* Named search-strategy variants for portfolio solving: very different
    restart cadences and branching polarities explore the search space in

@@ -6,7 +6,8 @@ type outcome = Holds | Violation of Counterexample.t
 let solve_assertions enc (prop : Property.t) =
   let opts = Encode.options enc in
   let solver =
-    Solver.create ~strategy:opts.Options.strategy ~features:opts.Options.solver_features ()
+    Solver.create ~certify:opts.Options.certify ~strategy:opts.Options.strategy
+      ~features:opts.Options.solver_features ()
   in
   List.iter (Solver.assert_term solver) (Encode.assertions enc);
   List.iter (Solver.assert_term solver) prop.Property.instrumentation;
@@ -36,9 +37,25 @@ module Report = struct
     | Timeout
     | Error of string
 
+  (* Independent evidence for a verdict, produced when the encoding was
+     built with [Options.certify].  [Checked_unsat_proof]: the solver's
+     DRAT-style trace replayed through the standalone {!Proof.Checker}
+     (theory lemmas re-justified by fresh Idl/Simplex runs) and found to
+     derive the refutation.  [Checked_model]: the satisfying assignment
+     re-evaluated over the original terms and the decoded counterexample
+     replayed through the concrete routing simulator.  All fields are
+     plain data, so certificates survive marshalling across the
+     {!Engine} worker boundary. *)
+  type certificate =
+    | Uncertified
+    | Checked_unsat_proof of { trace_steps : int; clauses : int; lemmas : int }
+    | Checked_model
+    | Certification_failed of string
+
   type t = {
     label : string;
     verdict : verdict;
+    certificate : certificate;
     wall_ms : float;
     stats : Solver.stats;
         (* per-query solver work: absolute for a fresh solver, the
@@ -52,6 +69,12 @@ module Report = struct
     | Violated _ -> "violated"
     | Timeout -> "timeout"
     | Error _ -> "error"
+
+  let certificate_name = function
+    | Uncertified -> "uncertified"
+    | Checked_unsat_proof _ -> "checked_unsat_proof"
+    | Checked_model -> "checked_model"
+    | Certification_failed _ -> "certification_failed"
 
   let of_outcome = function Holds -> Verified | Violation cx -> Violated cx
 
@@ -125,6 +148,19 @@ module Report = struct
             (List.length cx.Counterexample.announcements)
             (List.length cx.Counterexample.forwarding))
      | Verified | Timeout -> ());
+    (match r.certificate with
+     | Uncertified -> ()
+     | Checked_unsat_proof { trace_steps; clauses; lemmas } ->
+       Buffer.add_string buf
+         (Printf.sprintf
+            ",\"certificate\":{\"status\":\"checked_unsat_proof\",\"trace_steps\":%d,\"clauses\":%d,\"lemmas\":%d}"
+            trace_steps clauses lemmas)
+     | Checked_model ->
+       Buffer.add_string buf ",\"certificate\":{\"status\":\"checked_model\"}"
+     | Certification_failed msg ->
+       Buffer.add_string buf
+         (Printf.sprintf ",\"certificate\":{\"status\":\"failed\",\"reason\":\"%s\"}"
+            (json_escape msg)));
     Buffer.add_string buf
       (Printf.sprintf
          ",\"stats\":{\"conflicts\":%d,\"decisions\":%d,\"propagations\":%d,\"learned_clauses\":%d,\"restarts\":%d,\"theory_propagations\":%d,\"preprocessed_clauses\":%d,\"lbd_reductions\":%d,\"decisions_per_conflict\":%.2f}}"
@@ -140,11 +176,19 @@ module Report = struct
 
   (* Uniform process exit codes (single, batch and parallel mode):
      0 every query holds, 1 any violation, 3 any timeout or worker
-     error (2 is reserved for usage/parse errors, signalled before any
-     query runs). A violation dominates a timeout: it is the stronger,
-     actionable answer. *)
+     error, 4 any certification failure (2 is reserved for usage/parse
+     errors, signalled before any query runs).  A violation dominates a
+     timeout: it is the stronger, actionable answer.  A certification
+     failure dominates everything — a verdict whose independent check
+     failed cannot be trusted in either direction. *)
   let exit_code rs =
-    if List.exists (fun r -> match r.verdict with Violated _ -> true | _ -> false) rs then 1
+    if
+      List.exists
+        (fun r -> match r.certificate with Certification_failed _ -> true | _ -> false)
+        rs
+    then 4
+    else if List.exists (fun r -> match r.verdict with Violated _ -> true | _ -> false) rs
+    then 1
     else if
       List.exists (fun r -> match r.verdict with Timeout | Error _ -> true | _ -> false) rs
     then 3
@@ -160,13 +204,32 @@ let set_deadline solver = function
     (* >= so a zero budget cancels deterministically at the first poll *)
     Solver.set_stop solver (Some (fun () -> now () >= deadline))
 
+(* -- certification ---------------------------------------------------------- *)
+
+let certify_unsat solver : Report.certificate =
+  match Proof.Certify.unsat solver with
+  | Ok (s : Proof.Certify.unsat_summary) ->
+    Report.Checked_unsat_proof
+      { trace_steps = s.trace_steps; clauses = s.clauses; lemmas = s.lemmas }
+  | Error msg -> Report.Certification_failed msg
+
+let certify_model enc solver model : Report.certificate =
+  match Proof.Certify.model solver model with
+  | Error msg -> Report.Certification_failed msg
+  | Ok () -> (
+    match Counterexample.replay enc (Counterexample.decode enc model) with
+    | Ok () -> Report.Checked_model
+    | Error msg -> Report.Certification_failed msg)
+
 (* Answer one query on a fresh single-shot solver. *)
 let run_query enc (q : Query.t) : Report.t =
+  let certify = (Encode.options enc).Options.certify in
   let t0 = now () in
-  let finish verdict stats =
+  let finish verdict certificate stats =
     {
       Report.label = q.Query.label;
       verdict;
+      certificate;
       wall_ms = (now () -. t0) *. 1000.0;
       stats;
       worker = 0;
@@ -176,10 +239,13 @@ let run_query enc (q : Query.t) : Report.t =
   let solver = solve_assertions enc (q.Query.prop enc) in
   set_deadline solver q.Query.timeout;
   match Solver.check solver with
-  | Solver.Unsat -> finish Report.Verified (Solver.stats solver)
+  | Solver.Unsat ->
+    let cert = if certify then certify_unsat solver else Report.Uncertified in
+    finish Report.Verified cert (Solver.stats solver)
   | Solver.Sat model ->
-    finish (Report.Violated (Counterexample.decode enc model)) (Solver.stats solver)
-  | exception Solver.Canceled -> finish Report.Timeout (Solver.stats solver)
+    let cert = if certify then certify_model enc solver model else Report.Uncertified in
+    finish (Report.Violated (Counterexample.decode enc model)) cert (Solver.stats solver)
+  | exception Solver.Canceled -> finish Report.Timeout Report.Uncertified (Solver.stats solver)
 
 (* -- deprecated pre-Report entry points (thin wrappers) -------------------- *)
 
@@ -199,31 +265,46 @@ module Session = struct
   type session = {
     enc : Encode.t;
     solver : Solver.t;
+    owner : int;  (* pid of the creating process; see [guard_owner] *)
     mutable next : int;
     mutable active : T.t option;  (* activation literal of the live query *)
+    mutable last_model : Smt.Model.t option;  (* model of the last Sat check *)
   }
 
   type t = session
 
   let of_encoding ?strategy ?features enc =
+    let opts = Encode.options enc in
     let strategy =
-      match strategy with Some st -> st | None -> (Encode.options enc).Options.strategy
+      match strategy with Some st -> st | None -> opts.Options.strategy
     in
     let features =
-      match features with
-      | Some f -> f
-      | None -> (Encode.options enc).Options.solver_features
+      match features with Some f -> f | None -> opts.Options.solver_features
     in
-    let solver = Solver.create ~incremental:true ~strategy ~features () in
+    let solver =
+      Solver.create ~incremental:true ~certify:opts.Options.certify ~strategy ~features ()
+    in
     List.iter (Solver.assert_term solver) (Encode.assertions enc);
-    { enc; solver; next = 0; active = None }
+    { enc; solver; owner = Unix.getpid (); next = 0; active = None; last_model = None }
 
   let create net opts = of_encoding (Encode.build net opts)
   let encoding s = s.enc
   let queries s = s.next
   let stats s = Solver.stats s.solver
 
+  (* A session is a single-process object: the solver's assumption
+     stack, activation-literal counter and proof trace all live in this
+     process's heap.  Using one from a child after an [Engine]-style
+     fork silently diverges the parent's and child's views of the
+     activation literals and corrupts later verdicts, so fail fast
+     instead. *)
+  let guard_owner s =
+    if Unix.getpid () <> s.owner then
+      invalid_arg
+        "Verify.Session: session used from a forked process; create one session per worker"
+
   let check s prop =
+    guard_owner s;
     (* Retire the previous query for good: the unit clause satisfies
        all of its guarded clauses, so clause-database reduction can
        drop any learnt clause that still mentions it. *)
@@ -238,8 +319,12 @@ module Session = struct
       (prop.Property.instrumentation @ prop.Property.assumptions);
     Solver.assert_implied s.solver ~guard:act (T.not_ prop.Property.goal);
     match Solver.check ~assumptions:[ act ] s.solver with
-    | Solver.Unsat -> Holds
-    | Solver.Sat model -> Violation (Counterexample.decode s.enc model)
+    | Solver.Unsat ->
+      s.last_model <- None;
+      Holds
+    | Solver.Sat model ->
+      s.last_model <- Some model;
+      Violation (Counterexample.decode s.enc model)
 
   let check_all s make_props = List.map (fun make -> check s (make s.enc)) make_props
 
@@ -262,6 +347,7 @@ module Session = struct
     }
 
   let run_one s (q : Query.t) : Report.t =
+    let certify = (Encode.options s.enc).Options.certify in
     let t0 = now () in
     let before = Solver.stats s.solver in
     set_deadline s.solver q.Query.timeout;
@@ -271,9 +357,24 @@ module Session = struct
       | exception Solver.Canceled -> Report.Timeout
     in
     Solver.set_stop s.solver None;
+    let certificate =
+      if not certify then Report.Uncertified
+      else
+        match (verdict, s.last_model) with
+        | Report.Verified, _ ->
+          (* the trace spans every check of the session so far; the
+             checker refutes this check's activation literal on top of
+             the accumulated active set *)
+          certify_unsat s.solver
+        | Report.Violated _, Some model -> certify_model s.enc s.solver model
+        | Report.Violated _, None ->
+          Report.Certification_failed "no model stashed for a Violated verdict"
+        | (Report.Timeout | Report.Error _), _ -> Report.Uncertified
+    in
     {
       Report.label = q.Query.label;
       verdict;
+      certificate;
       wall_ms = (now () -. t0) *. 1000.0;
       stats = stats_delta before (Solver.stats s.solver);
       worker = 0;

@@ -36,9 +36,27 @@ module Report : sig
     | Timeout  (** the query's wall-clock budget expired *)
     | Error of string  (** the worker crashed or the query raised *)
 
+  (** Independent evidence for a verdict, produced when the encoding
+      was built with [Options.certify].  [Checked_unsat_proof]: the
+      solver's DRAT-style trace was replayed through the standalone
+      {!Proof.Checker} (theory lemmas re-justified by fresh Idl/Simplex
+      runs) and derives the refutation; the fields count the trace
+      steps, the propagation-checked derived clauses and the
+      re-justified theory lemmas.  [Checked_model]: the satisfying
+      assignment was re-evaluated over the original asserted terms and
+      the decoded counterexample was replayed through the concrete
+      routing simulator.  Certificates are plain data and survive
+      marshalling across the {!Engine} worker boundary. *)
+  type certificate =
+    | Uncertified
+    | Checked_unsat_proof of { trace_steps : int; clauses : int; lemmas : int }
+    | Checked_model
+    | Certification_failed of string
+
   type t = {
     label : string;
     verdict : verdict;
+    certificate : certificate;
     wall_ms : float;
     stats : Smt.Solver.stats;
         (** per-query solver work: absolute for a fresh solver, a delta
@@ -49,6 +67,10 @@ module Report : sig
 
   val verdict_name : verdict -> string
   (** ["verified" | "violated" | "timeout" | "error"]. *)
+
+  val certificate_name : certificate -> string
+  (** ["uncertified" | "checked_unsat_proof" | "checked_model" |
+      "certification_failed"]. *)
 
   val of_outcome : outcome -> verdict
 
@@ -70,9 +92,10 @@ module Report : sig
 
   val exit_code : t list -> int
   (** Uniform process exit code for a report suite: [0] every query
-      holds, [1] any violation, [3] any timeout/worker error ([2] is
-      reserved for usage and parse errors).  Violations dominate
-      timeouts. *)
+      holds, [1] any violation, [3] any timeout/worker error, [4] any
+      certification failure ([2] is reserved for usage and parse
+      errors).  Violations dominate timeouts; certification failures
+      dominate everything. *)
 
   val json_escape : string -> string
 end

@@ -87,6 +87,7 @@ let worker_main ~worker_id ?strategy ?strategy_name enc shard wfd =
              {
                Report.label = q.Query.label;
                verdict = Report.Error (Printexc.to_string e);
+               certificate = Report.Uncertified;
                wall_ms = 0.0;
                stats = Report.empty_stats;
                worker = worker_id;
@@ -162,6 +163,7 @@ let run ?jobs ?timeout enc queries =
       {
         Report.label = qarr.(idx).Query.label;
         verdict;
+        certificate = Report.Uncertified;
         wall_ms = 0.0;
         stats = Report.empty_stats;
         worker = wid;
@@ -369,6 +371,7 @@ let portfolio ?timeout ?(strategies = Minesweeper.Options.portfolio) enc q =
       verdict =
         (if !watchdog_fired then Report.Timeout
          else Report.Error "all portfolio racers crashed");
+      certificate = Report.Uncertified;
       wall_ms = elapsed_ms;
       stats = Report.empty_stats;
       worker = 0;

@@ -1,0 +1,134 @@
+(* Certification glue between the SMT solver and the independent
+   checker: theory-lemma revalidation against the standalone [Idl] and
+   [Simplex] procedures, trace checking for Unsat verdicts, and model
+   evaluation for Sat verdicts. *)
+
+module Sat = Smt.Sat
+module Solver = Smt.Solver
+module Cnf = Smt.Cnf
+module Model = Smt.Model
+
+(* A lemma clause l1 ∨ ... ∨ ln over theory-atom variables is valid iff
+   the conjunction of the negated literals is theory-infeasible.  Each
+   literal maps through the solver's atom registry:
+   - positive literal on an IDL atom [x - y <= k]: negated, the atom is
+     false, i.e. [y - x <= -k - 1];
+   - negative literal: the atom holds, [x - y <= k];
+   and dually for rational atoms (assert / negate in the simplex).
+   Lemmas mixing theories, or mentioning a variable that is no theory
+   atom, are rejected — the solver never produces them. *)
+let theory_revalidator solver =
+  let int_atoms = Hashtbl.create 256 in
+  List.iter
+    (fun ((v, a) : int * Cnf.int_atom) -> Hashtbl.replace int_atoms v a)
+    (Solver.int_atom_table solver);
+  let rat_list = Array.of_list (Solver.rat_atom_table solver) in
+  let rat_atoms = Hashtbl.create 64 in
+  Array.iteri
+    (fun i ((v, _) : int * Cnf.rat_atom) -> Hashtbl.replace rat_atoms v i)
+    rat_list;
+  let zero = Solver.num_int_vars solver in
+  let n_rat = Solver.num_rat_vars solver in
+  (* The simplex tableau over every registered rational atom, built
+     lazily (most networks have no rational atoms at all). *)
+  let simplex = ref None in
+  let get_simplex () =
+    match !simplex with
+    | Some s -> s
+    | None ->
+      let s =
+        Smt.Simplex.create ~nvars:n_rat
+          (Array.map
+             (fun ((_, a) : int * Cnf.rat_atom) : Smt.Simplex.atom ->
+               { coeffs = a.rcoeffs; bound = a.rbound })
+             rat_list)
+      in
+      simplex := Some s;
+      s
+  in
+  fun (lits : int array) ->
+    let idl_constrs = ref [] in
+    let rat_assertions = ref [] in
+    let unmapped = ref None in
+    Array.iter
+      (fun l ->
+        let v = Sat.lit_var l in
+        match Hashtbl.find_opt int_atoms v with
+        | Some a ->
+          let x = if a.Cnf.ix < 0 then zero else a.Cnf.ix in
+          let y = if a.Cnf.iy < 0 then zero else a.Cnf.iy in
+          let c =
+            if Sat.lit_sign l then
+              (* negated positive literal: atom false, y - x <= -k-1 *)
+              { Smt.Idl.x = y; y = x; k = -a.Cnf.ik - 1; tag = 0 }
+            else { Smt.Idl.x; y; k = a.Cnf.ik; tag = 0 }
+          in
+          idl_constrs := c :: !idl_constrs
+        | None -> (
+          match Hashtbl.find_opt rat_atoms v with
+          | Some i ->
+            let _, a = rat_list.(i) in
+            let assertion =
+              if Sat.lit_sign l then (i, false, not a.Cnf.rstrict)
+              else (i, true, a.Cnf.rstrict)
+            in
+            rat_assertions := assertion :: !rat_assertions
+          | None -> unmapped := Some v))
+      lits;
+    match (!unmapped, !idl_constrs, !rat_assertions) with
+    | Some v, _, _ ->
+      Error (Printf.sprintf "literal over variable %d is not a theory atom" v)
+    | None, [], [] -> Error "empty lemma"
+    | None, _ :: _, _ :: _ -> Error "lemma mixes integer and rational atoms"
+    | None, (_ :: _ as cs), [] -> (
+      match Smt.Idl.check ~nvars:(zero + 1) cs with
+      | Error _ -> Ok ()
+      | Ok _ -> Error "negated lemma is difference-logic satisfiable")
+    | None, [], (_ :: _ as asserts) -> (
+      match Smt.Simplex.check (get_simplex ()) ~assertions:asserts with
+      | Error _ -> Ok ()
+      | Ok _ -> Error "negated lemma is simplex-satisfiable")
+
+type unsat_summary = {
+  trace_steps : int;
+  clauses : int;  (** derived clauses confirmed by reverse unit propagation *)
+  lemmas : int;  (** theory lemmas re-justified by standalone solvers *)
+}
+
+let unsat solver =
+  if not (Solver.certify_enabled solver) then
+    Error "solver was created without ~certify:true; no trace was recorded"
+  else begin
+    let goal =
+      match Solver.last_assumption_lits solver with
+      | [] -> Checker.Empty
+      | lits -> Checker.Assumptions lits
+    in
+    match Checker.run ~theory:(theory_revalidator solver) ~goal (Solver.proof solver) with
+    | Error _ as e -> e
+    | Ok (s : Checker.summary) ->
+      Ok { trace_steps = s.steps; clauses = s.rup_checked; lemmas = s.lemmas_checked }
+  end
+
+(* A Sat verdict is certified by re-evaluating the original formula —
+   the terms as asserted, not their CNF — under the extracted model with
+   the reference evaluator. *)
+let model solver m =
+  if not (Solver.certify_enabled solver) then
+    Error "solver was created without ~certify:true; assertions were not recorded"
+  else begin
+    let bad = ref None in
+    let check_true what t =
+      if !bad = None && not (Model.eval_bool m t) then bad := Some what
+    in
+    List.iter (check_true "an asserted term") (Solver.asserted_terms solver);
+    List.iter (check_true "an assumption") (Solver.last_assumption_terms solver);
+    List.iter
+      (fun (guard, body) ->
+        if !bad = None && Model.eval_bool m guard && not (Model.eval_bool m body) then
+          bad := Some "a guarded assertion (guard true, body false)")
+      (Solver.implied_terms solver);
+    match !bad with
+    | None -> Ok ()
+    | Some what -> Error (Printf.sprintf "model does not satisfy %s" what)
+  end

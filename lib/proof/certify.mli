@@ -1,0 +1,33 @@
+(** Certification of SMT verdicts against independent machinery.
+
+    An Unsat verdict is certified by replaying the solver's DRAT-style
+    trace through {!Checker} (naive unit propagation, nothing shared
+    with the CDCL core) with every theory lemma re-justified by the
+    standalone [Idl] / [Simplex] decision procedures.  A Sat verdict is
+    certified by re-evaluating the original asserted terms under the
+    extracted model with the reference evaluator.
+
+    Both entry points require the solver to have been created with
+    [Solver.create ~certify:true]. *)
+
+val theory_revalidator : Smt.Solver.t -> int array -> (unit, string) result
+(** A {!Checker.run} [theory] callback for the given solver's atom
+    registries: a lemma clause is accepted iff the conjunction of its
+    negated literals is infeasible for the standalone theory solver
+    (difference-logic negative-cycle search, or a fresh simplex). *)
+
+type unsat_summary = {
+  trace_steps : int;
+  clauses : int;  (** derived clauses confirmed by reverse unit propagation *)
+  lemmas : int;  (** theory lemmas re-justified by standalone solvers *)
+}
+
+val unsat : Smt.Solver.t -> (unsat_summary, string) result
+(** Certify the most recent [Unsat] answer of [solver]: the recorded
+    trace must derive the empty clause, or refute the check's
+    assumption literals by propagation. *)
+
+val model : Smt.Solver.t -> Smt.Model.t -> (unit, string) result
+(** Certify a [Sat] answer: every asserted term and every assumption of
+    the last check must evaluate to true under [m], and every
+    [assert_implied] guard that is true must have a true body. *)

@@ -32,8 +32,11 @@ type t = {
   mutable bool_var_list : (Term.t * int) list;
 }
 
-let create ?(pg = true) () =
+let create ?(pg = true) ?(proof = false) () =
   let sat = Sat.create () in
+  (* recording must start before the [true_lit] unit below: the trace's
+     active set has to cover every clause the solver ever saw *)
+  if proof then Sat.enable_proof sat;
   let tv = Sat.new_var sat in
   let true_lit = Sat.pos_lit tv in
   Sat.add_clause sat [ true_lit ];

@@ -32,9 +32,11 @@ type rat_atom = {
   rstrict : bool;
 }
 
-val create : ?pg:bool -> unit -> t
+val create : ?pg:bool -> ?proof:bool -> unit -> t
 (** [create ()] uses polarity-aware conversion; [~pg:false] emits full
-    equivalences for every definition. *)
+    equivalences for every definition.  [~proof:true] turns on DRAT
+    trace recording in the underlying solver before the first clause is
+    emitted (see {!Sat.enable_proof}). *)
 
 val sat : t -> Sat.t
 

@@ -34,6 +34,27 @@ let default_strategy = { var_decay = 0.95; restart_base = 100; default_phase = f
 
 exception Canceled
 
+(* A DRAT-style trace.  The checker keeps an "active set" mirroring the
+   solver's clause database clause-for-clause (clauses are compared as
+   sorted literal sets, so the solver may log literal arrays in whatever
+   order its watches left them):
+   - [P_input]  original clause, admitted without justification;
+   - [P_rup]    derived clause; checkable by reverse unit propagation
+                over the active set (learnt clauses, strengthenings,
+                stripped inputs, assumption-core negations; [P_rup [||]]
+                is the refutation);
+   - [P_lemma]  theory lemma integrated mid-search; justified by
+                re-running a standalone theory solver, not by RUP;
+   - [P_pure]   pure-literal unit: sound because no active clause
+                contains the negation (a RAT step of width 0);
+   - [P_delete] removal of a clause currently in the active set. *)
+type proof_step =
+  | P_input of int array
+  | P_rup of int array
+  | P_lemma of int array
+  | P_pure of int
+  | P_delete of int array
+
 type t = {
   mutable nvars : int;
   mutable assign : int array;
@@ -93,6 +114,10 @@ type t = {
   mutable early_sats : int;  (* Sat answers concluded on a partial assignment *)
   mutable scan_backoff : int;  (* conflicts+decisions to wait after a failed scan *)
   mutable next_scan_work : int;
+  (* -- proof logging -- *)
+  mutable proof_on : bool;
+  mutable proof_rev : proof_step list;  (* newest first *)
+  mutable proof_len : int;
 }
 
 type result = Sat | Unsat
@@ -148,7 +173,21 @@ let create () =
     early_sats = 0;
     scan_backoff = 16;
     next_scan_work = 0;
+    proof_on = false;
+    proof_rev = [];
+    proof_len = 0;
   }
+
+let enable_proof s = s.proof_on <- true
+let proof_enabled s = s.proof_on
+let proof_steps s = List.rev s.proof_rev
+let proof_length s = s.proof_len
+
+let log_step s step =
+  if s.proof_on then begin
+    s.proof_rev <- step :: s.proof_rev;
+    s.proof_len <- s.proof_len + 1
+  end
 
 let set_strategy s st = s.strategy <- st
 let set_stop s f = s.stop <- f
@@ -336,18 +375,30 @@ let add_clause s lits =
     (* Simplify: drop duplicate and false literals, detect tautologies and
        satisfied clauses.  All current assignments are at level 0. *)
     let lits = List.sort_uniq compare lits in
+    let orig = if s.proof_on then Array.of_list lits else [||] in
+    log_step s (P_input orig);
     let tautology =
       List.exists (fun l -> lit_sign l && List.mem (lit_neg l) lits) lits
     in
     let satisfied = List.exists (fun l -> lit_value s l = 1) lits in
-    if not (tautology || satisfied) then begin
-      let lits = List.filter (fun l -> lit_value s l <> -1) lits in
-      match lits with
+    if tautology || satisfied then
+      (* the solver never stores this clause, so neither may the
+         checker's active set; it can never appear in a derivation *)
+      log_step s (P_delete orig)
+    else begin
+      let lits' = List.filter (fun l -> lit_value s l <> -1) lits in
+      if s.proof_on && List.length lits' <> List.length lits then begin
+        (* root-false literals were stripped: the stored clause is a
+           unit-propagation consequence of the original plus root units *)
+        log_step s (P_rup (Array.of_list lits'));
+        if lits' <> [] then log_step s (P_delete orig)
+      end;
+      match lits' with
       | [] -> s.ok <- false
       | [ l ] -> enqueue s l None
       | _ :: _ :: _ ->
         let c =
-          { lits = Array.of_list lits; activity = 0.0; lbd = 0; learnt = false; deleted = false }
+          { lits = Array.of_list lits'; activity = 0.0; lbd = 0; learnt = false; deleted = false }
         in
         Vec.push s.clauses c;
         attach s c
@@ -448,6 +499,7 @@ let clean_clause_vec s vec =
         let lits = c.lits in
         if Array.exists (fun l -> lit_value s l = 1) lits then begin
           c.deleted <- true;
+          log_step s (P_delete (Array.copy lits));
           s.preprocessed <- s.preprocessed + 1;
           changed := true
         end
@@ -456,11 +508,18 @@ let clean_clause_vec s vec =
           s.preprocessed <- s.preprocessed + 1;
           changed := true;
           match Array.length live with
-          | 0 -> s.ok <- false
+          | 0 ->
+            s.ok <- false;
+            log_step s (P_rup [||])
           | 1 ->
+            log_step s (P_rup (Array.copy live));
+            log_step s (P_delete (Array.copy lits));
             enqueue s live.(0) None;
             c.deleted <- true
-          | _ -> c.lits <- live
+          | _ ->
+            log_step s (P_rup (Array.copy live));
+            log_step s (P_delete (Array.copy lits));
+            c.lits <- live
         end
       end)
     vec;
@@ -523,6 +582,7 @@ let subsume_pass s =
                  && subset_sorted c.lits d.lits
               then begin
                 d.deleted <- true;
+                log_step s (P_delete (Array.copy d.lits));
                 s.preprocessed <- s.preprocessed + 1;
                 changed := true
               end)
@@ -547,12 +607,17 @@ let subsume_pass s =
                      && strengthens c.lits l d.lits
                   then begin
                     let live = Array.of_list (List.filter (fun x -> x <> nl) (Array.to_list d.lits)) in
+                    log_step s (P_rup (Array.copy live));
+                    log_step s (P_delete (Array.copy d.lits));
                     s.preprocessed <- s.preprocessed + 1;
                     changed := true;
                     sigs.(j) <- Array.fold_left (fun acc x -> acc lor (1 lsl (x mod 62))) 0 live;
                     if Array.length live = 1 then begin
                       (if lit_value s live.(0) = 0 then enqueue s live.(0) None
-                       else if lit_value s live.(0) = -1 then s.ok <- false);
+                       else if lit_value s live.(0) = -1 then begin
+                         s.ok <- false;
+                         log_step s (P_rup [||])
+                       end);
                       d.deleted <- true
                     end
                     else d.lits <- live
@@ -578,7 +643,9 @@ let pure_literal_pass s =
          not a theory atom and cannot be assumed: fixing it to its pure
          polarity preserves satisfiability, and the level-0 assignment
          keeps the model exact. *)
-      enqueue s (if pos.(v) then pos_lit v else neg_lit v) None;
+      let l = if pos.(v) then pos_lit v else neg_lit v in
+      log_step s (P_pure l);
+      enqueue s l None;
       changed := true
     end
   done;
@@ -600,7 +667,11 @@ let rebuild_watches s =
 
 let simplify s =
   if s.ok && decision_level s = 0 then begin
-    (match propagate s with Some _ -> s.ok <- false | None -> ());
+    (match propagate s with
+     | Some _ ->
+       s.ok <- false;
+       log_step s (P_rup [||])
+     | None -> ());
     if s.ok
        && (Vec.size s.clauses + Vec.size s.learnts <> s.simp_clauses
           || Vec.size s.trail <> s.simp_trail)
@@ -625,7 +696,11 @@ let simplify s =
           compact_clause_vec s.clauses;
           compact_clause_vec s.learnts;
           rebuild_watches s;
-          (match propagate s with Some _ -> s.ok <- false | None -> ());
+          (match propagate s with
+           | Some _ ->
+             s.ok <- false;
+             log_step s (P_rup [||])
+           | None -> ());
           changed := true
         end
       done;
@@ -763,7 +838,14 @@ let analyze s confl =
 
 (* -- learnt clause database reduction -------------------------------------- *)
 
-let locked s (c : clause) = Array.length c.lits > 0 && s.reason.(lit_var c.lits.(0)) == Some c
+(* Physical equality must be on the clause itself: [reason == Some c]
+   compares against a freshly allocated option block and is never true,
+   which would let [reduce_db] delete a clause that is the recorded
+   reason of a trail literal — conflict-clause minimization then cites
+   a deleted clause and the logged proof loses an antecedent. *)
+let locked s (c : clause) =
+  Array.length c.lits > 0
+  && match s.reason.(lit_var c.lits.(0)) with Some r -> r == c | None -> false
 
 let reduce_db s =
   if s.lbd_enabled then begin
@@ -780,6 +862,7 @@ let reduce_db s =
       let c = Vec.get s.learnts i in
       if i < n / 2 && (not (locked s c)) && Array.length c.lits > 2 && c.lbd > 2 then begin
         c.deleted <- true;
+        log_step s (P_delete (Array.copy c.lits));
         s.lbd_deletions <- s.lbd_deletions + 1
       end
       else Vec.push kept c
@@ -795,7 +878,10 @@ let reduce_db s =
     let kept = Vec.create ~dummy:dummy_clause () in
     for i = 0 to n - 1 do
       let c = Vec.get s.learnts i in
-      if i < n / 2 && (not (locked s c)) && Array.length c.lits > 2 then c.deleted <- true
+      if i < n / 2 && (not (locked s c)) && Array.length c.lits > 2 then begin
+        c.deleted <- true;
+        log_step s (P_delete (Array.copy c.lits))
+      end
       else Vec.push kept c
     done;
     Vec.clear s.learnts;
@@ -808,20 +894,27 @@ let reduce_db s =
    like any learnt clause). *)
 let integrate_clause s lits =
   let lits = List.sort_uniq compare lits in
+  log_step s (P_lemma (Array.of_list lits));
   (* literals false at level 0 can never help *)
-  let lits =
+  let lits' =
     List.filter (fun l -> not (lit_value s l = -1 && s.level.(lit_var l) = 0)) lits
   in
-  match lits with
+  if s.proof_on && List.length lits' <> List.length lits then begin
+    log_step s (P_rup (Array.of_list lits'));
+    if lits' <> [] then log_step s (P_delete (Array.of_list lits))
+  end;
+  match lits' with
   | [] -> s.ok <- false
   | [ l ] ->
     cancel_until s 0;
     (match lit_value s l with
      | 1 -> ()
-     | -1 -> s.ok <- false
+     | -1 ->
+       s.ok <- false;
+       log_step s (P_rup [||])
      | _ -> enqueue s l None)
   | _ :: _ :: _ ->
-    let arr = Array.of_list lits in
+    let arr = Array.of_list lits' in
     let c =
       { lits = arr; activity = 0.0; lbd = Array.length arr; learnt = true; deleted = false }
     in
@@ -853,6 +946,7 @@ let integrate_clause s lits =
         let l0 = s.level.(lit_var arr.(0)) in
         if l0 = 0 then begin
           s.ok <- false;
+          log_step s (P_rup [||]);
           finished := true
         end
         else begin
@@ -1023,10 +1117,12 @@ let solve ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
       if !steps land 255 = 0 then poll_stop s;
       if decision_level s = 0 then begin
         s.ok <- false;
+        log_step s (P_rup [||]);
         answer := Some Unsat
       end
       else begin
         let learnt, blevel = analyze s confl in
+        log_step s (P_rup (Array.of_list learnt));
         cancel_until s blevel;
         (match learnt with
          | [] -> assert false
@@ -1071,6 +1167,9 @@ let solve ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
         match pick_assumption () with
         | `Failed p ->
           s.core <- analyze_final s p;
+          (* the negated core is implied by the database alone: record
+             it so the trace refutes the assumptions by propagation *)
+          log_step s (P_rup (Array.of_list (List.map lit_neg s.core)));
           answer := Some Unsat
         | `Propagate -> ()
         | `Search ->

@@ -47,6 +47,47 @@ val set_strategy : t -> strategy -> unit
 
 exception Canceled
 
+type proof_step =
+  | P_input of int array
+      (** Original clause, exactly as admitted into the database
+          (duplicate literals removed, sorted).  Not justified by the
+          trace — provenance is the caller's responsibility. *)
+  | P_rup of int array
+      (** Derived clause: learnt clauses, strengthened or stripped
+          clauses, negated assumption cores.  Checkable by reverse unit
+          propagation over the preceding active set; [P_rup [||]] is
+          the refutation. *)
+  | P_lemma of int array
+      (** Theory lemma integrated mid-search.  Not propositionally
+          derivable — a checker must re-justify it against a standalone
+          theory solver. *)
+  | P_pure of int
+      (** Pure-literal unit: sound because no clause of the preceding
+          active set contains the literal's negation. *)
+  | P_delete of int array
+      (** Removal of a clause currently in the active set (compared as
+          a sorted literal set). *)
+(** One step of a DRAT-style trace.  The sequence of steps keeps an
+    imagined "active set" of clauses in sync with the solver's own
+    database, so an independent checker can replay it with nothing but
+    unit propagation (plus theory revalidation for [P_lemma]). *)
+
+val enable_proof : t -> unit
+(** Start recording a proof trace.  Must be called before any clause is
+    added; recording cannot be turned off again.  Logging costs memory
+    proportional to the search, so leave it off unless a certificate is
+    wanted. *)
+
+val proof_enabled : t -> bool
+
+val proof_steps : t -> proof_step list
+(** The recorded trace, in chronological order.  Literal arrays are
+    fresh copies, but their order reflects the solver's internal watch
+    bookkeeping — consumers must treat clauses as literal {e sets}. *)
+
+val proof_length : t -> int
+(** Number of recorded steps ([List.length (proof_steps s)], O(1)). *)
+
 val set_simplify : t -> bool -> unit
 (** Enable the level-0 preprocessing pass (root unit propagation,
     satisfied-clause removal, false-literal stripping, forward

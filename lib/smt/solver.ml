@@ -29,11 +29,17 @@ type t = {
   cnf : Cnf.t;
   incremental : bool;
   features : features;
+  certify : bool;
   mutable theory_rounds : int;
   mutable theory_props : int;
   mutable checks : int;
   mutable last_core : Term.t list;
   mutable tcache : tstate option;
+  (* certification bookkeeping (recorded only when [certify]): the
+     original formula as terms, for independent model evaluation *)
+  mutable asserted : Term.t list;
+  mutable implied : (Term.t * Term.t) list;
+  mutable last_assumptions : (int * Term.t) list;
 }
 
 type result = Sat of Model.t | Unsat
@@ -63,8 +69,8 @@ type stats = {
   checks : int;
 }
 
-let create ?(incremental = false) ?strategy ?(features = default_features) () =
-  let cnf = Cnf.create ~pg:features.pg_cnf () in
+let create ?(incremental = false) ?(certify = false) ?strategy ?(features = default_features) () =
+  let cnf = Cnf.create ~pg:features.pg_cnf ~proof:certify () in
   let sat = Cnf.sat cnf in
   (match strategy with None -> () | Some st -> Sat.set_strategy sat st);
   Sat.set_simplify sat features.preprocess;
@@ -78,18 +84,42 @@ let create ?(incremental = false) ?strategy ?(features = default_features) () =
     cnf;
     incremental;
     features;
+    certify;
     theory_rounds = 0;
     theory_props = 0;
     checks = 0;
     last_core = [];
     tcache = None;
+    asserted = [];
+    implied = [];
+    last_assumptions = [];
   }
 
 let set_stop s f = Sat.set_stop (Cnf.sat s.cnf) f
 
-let assert_term s term = Cnf.assert_term s.cnf term
-let assert_implied s ~guard term = Cnf.assert_implied s.cnf ~guard term
+let assert_term s term =
+  if s.certify then s.asserted <- term :: s.asserted;
+  Cnf.assert_term s.cnf term
+
+let assert_implied s ~guard term =
+  if s.certify then s.implied <- (guard, term) :: s.implied;
+  Cnf.assert_implied s.cnf ~guard term
+
 let unsat_core s = s.last_core
+
+(* -- certification accessors ------------------------------------------------ *)
+
+let certify_enabled s = s.certify
+let proof s = Sat.proof_steps (Cnf.sat s.cnf)
+let proof_length s = Sat.proof_length (Cnf.sat s.cnf)
+let asserted_terms s = List.rev s.asserted
+let implied_terms s = List.rev s.implied
+let last_assumption_lits s = List.map fst s.last_assumptions
+let last_assumption_terms s = List.map snd s.last_assumptions
+let int_atom_table s = Cnf.int_atoms s.cnf
+let rat_atom_table s = Cnf.rat_atoms s.cnf
+let num_int_vars s = Cnf.num_int_vars s.cnf
+let num_rat_vars s = Cnf.num_rat_vars s.cnf
 
 (* Build (or reuse) the theory state for the atoms registered so far. *)
 let theory_state s =
@@ -161,6 +191,7 @@ let check ?(assumptions = []) s =
   (* Convert assumption terms first: conversion may allocate variables
      and clauses, which must precede the theory tables built below. *)
   let assumption_lits = List.map (fun t -> (Cnf.lit_of c t, t)) assumptions in
+  s.last_assumptions <- assumption_lits;
   let sat = Cnf.sat c in
   let ts = theory_state s in
   let zero = ts.zero in

@@ -90,13 +90,18 @@ type stats = {
 (** Counters accumulate across every {!check} of an incremental
     solver; they are never reset. *)
 
-val create : ?incremental:bool -> ?strategy:strategy -> ?features:features -> unit -> t
+val create :
+  ?incremental:bool -> ?certify:bool -> ?strategy:strategy -> ?features:features -> unit -> t
 (** [incremental] (default [false]) allows any number of {!check}
-    calls, interleaved with new assertions.  [strategy] (default
-    {!default_strategy}) steers the SAT search.  [features] (default
-    {!default_features}) selects the solver-throughput optimizations;
-    in incremental mode, pure-literal elimination is disabled
-    regardless (it is unsound across checks). *)
+    calls, interleaved with new assertions.  [certify] (default
+    [false]) records the evidence needed for independent verdict
+    checking: a DRAT-style proof trace in the SAT core (see
+    {!Sat.enable_proof}) and the asserted terms for model evaluation;
+    the recordings are consumed by the [Proof] library.  [strategy]
+    (default {!default_strategy}) steers the SAT search.  [features]
+    (default {!default_features}) selects the solver-throughput
+    optimizations; in incremental mode, pure-literal elimination is
+    disabled regardless (it is unsound across checks). *)
 
 val set_stop : t -> (unit -> bool) option -> unit
 (** Cooperative cancellation/budget hook: polled every few hundred SAT
@@ -129,3 +134,39 @@ val check_term : Term.t -> result
 (** One-shot convenience: a fresh solver asserting a single term. *)
 
 val stats : t -> stats
+
+(** {2 Certification accessors}
+
+    Raw evidence for an independent checker (the [Proof] library).
+    Meaningful only on a solver created with [~certify:true]; the term
+    recordings are empty otherwise. *)
+
+val certify_enabled : t -> bool
+
+val proof : t -> Sat.proof_step list
+(** The DRAT-style trace recorded so far, chronological. *)
+
+val proof_length : t -> int
+
+val asserted_terms : t -> Term.t list
+(** Every term passed to {!assert_term}, in assertion order. *)
+
+val implied_terms : t -> (Term.t * Term.t) list
+(** Every [(guard, body)] passed to {!assert_implied}. *)
+
+val last_assumption_lits : t -> int list
+(** SAT literals of the assumptions of the most recent {!check}. *)
+
+val last_assumption_terms : t -> Term.t list
+
+val int_atom_table : t -> (int * Cnf.int_atom) list
+(** [(sat_var, atom)] for every registered difference atom — the key
+    for re-justifying difference-logic lemmas independently. *)
+
+val rat_atom_table : t -> (int * Cnf.rat_atom) list
+
+val num_int_vars : t -> int
+(** Dense integer theory variables allocated (the checker's IDL
+    instances add one extra node for the constant zero). *)
+
+val num_rat_vars : t -> int

@@ -285,6 +285,7 @@ let mk label verdict =
   {
     Report.label;
     verdict;
+    certificate = Report.Uncertified;
     wall_ms = 1.0;
     stats = Report.empty_stats;
     worker = 0;

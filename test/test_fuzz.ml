@@ -1,0 +1,224 @@
+(* Differential fuzzing over the whole stack: QCheck-driven mutations
+   of generated enterprise and fattree configurations (flip a route-map
+   action, rotate local-preferences, drop a link), verified with
+   certification on.
+
+   Oracle: the concrete control-plane simulator.  Both generators give
+   some devices external BGP peers, so the symbolic environment is
+   strictly larger than any one concrete run; agreement is therefore
+   checked in the sound direction — a Verified reachability verdict
+   quantifies over every environment and must hold in the empty one the
+   simulator computes — while Violated verdicts are checked by
+   certification itself, which replays the decoded counterexample's
+   environment through the same simulator (Checked_model implies
+   per-device agreement).  Every verdict must carry a positive
+   certificate: an Uncertified or failed one fails the fuzzer.
+
+   [dune runtest] runs a small bounded sample; [make fuzz] raises the
+   budget via MS_FUZZ_COUNT. *)
+
+module MS = Minesweeper
+module G = Generators
+module A = Config.Ast
+
+let fuzz_count =
+  match Sys.getenv_opt "MS_FUZZ_COUNT" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 6)
+  | None -> 6
+
+(* ---- mutations ---- *)
+
+let map_devices f net = { net with A.net_devices = List.map f net.A.net_devices }
+
+let count_rm_clauses net =
+  List.fold_left
+    (fun n (d : A.device) ->
+      List.fold_left (fun n rm -> n + List.length rm.A.rm_clauses) n d.A.dev_route_maps)
+    0 net.A.net_devices
+
+(* Flip Permit <-> Deny on the k-th route-map clause of the network. *)
+let flip_rm_action k net =
+  let total = count_rm_clauses net in
+  if total = 0 then net
+  else begin
+    let idx = k mod total in
+    let i = ref (-1) in
+    map_devices
+      (fun d ->
+        {
+          d with
+          A.dev_route_maps =
+            List.map
+              (fun rm ->
+                {
+                  rm with
+                  A.rm_clauses =
+                    List.map
+                      (fun c ->
+                        incr i;
+                        if !i = idx then
+                          {
+                            c with
+                            A.rm_action =
+                              (match c.A.rm_action with
+                               | A.Permit -> A.Deny
+                               | A.Deny -> A.Permit);
+                          }
+                        else c)
+                      rm.A.rm_clauses;
+                })
+              d.A.dev_route_maps;
+        })
+      net
+  end
+
+(* Rotate every Set_local_pref value one position forward, network-wide:
+   preserves the multiset of preferences but scrambles who gets which. *)
+let rotate_local_prefs net =
+  let vals = ref [] in
+  List.iter
+    (fun (d : A.device) ->
+      List.iter
+        (fun rm ->
+          List.iter
+            (fun c ->
+              List.iter
+                (function A.Set_local_pref v -> vals := v :: !vals | _ -> ())
+                c.A.rm_sets)
+            rm.A.rm_clauses)
+        d.A.dev_route_maps)
+    net.A.net_devices;
+  match List.rev !vals with
+  | [] | [ _ ] -> net
+  | vs ->
+    let vs = Array.of_list vs in
+    let nvs = Array.length vs in
+    let j = ref (-1) in
+    map_devices
+      (fun d ->
+        {
+          d with
+          A.dev_route_maps =
+            List.map
+              (fun rm ->
+                {
+                  rm with
+                  A.rm_clauses =
+                    List.map
+                      (fun c ->
+                        {
+                          c with
+                          A.rm_sets =
+                            List.map
+                              (function
+                                | A.Set_local_pref _ ->
+                                  incr j;
+                                  A.Set_local_pref vs.((!j + 1) mod nvs)
+                                | s -> s)
+                              c.A.rm_sets;
+                        })
+                      rm.A.rm_clauses;
+                })
+              d.A.dev_route_maps;
+        })
+      net
+
+(* Remove the k-th physical link from the topology. *)
+let drop_link k net =
+  let links = Net.Topology.links net.A.net_topology in
+  match links with
+  | [] -> net
+  | _ ->
+    let idx = k mod List.length links in
+    let topo =
+      List.fold_left Net.Topology.add_device Net.Topology.empty
+        (Net.Topology.devices net.A.net_topology)
+    in
+    let topo, _ =
+      List.fold_left
+        (fun (t, i) l -> ((if i = idx then t else Net.Topology.add_link t l), i + 1))
+        (topo, 0) links
+    in
+    { net with A.net_topology = topo }
+
+let mutate seed net =
+  match seed mod 3 with
+  | 0 -> ("flip-rm-action", flip_rm_action (seed / 3) net)
+  | 1 -> ("rotate-local-prefs", rotate_local_prefs net)
+  | _ -> ("drop-link", drop_link (seed / 3) net)
+
+(* ---- the differential property ---- *)
+
+let check_one name seed net ~src ~dest_device ~dest_prefix =
+  let mname, net = mutate seed net in
+  let label = Printf.sprintf "%s seed %d (%s)" name seed mname in
+  let opts = MS.Options.with_certify MS.Options.default in
+  match MS.Encode.build net opts with
+  | exception Analysis.Lint.Lint_errors _ ->
+    (* a mutation can invalidate the configuration outright; nothing to
+       verify differentially then *)
+    true
+  | enc ->
+    let dest = MS.Property.Subnet (dest_device, dest_prefix) in
+    let q =
+      MS.Verify.Query.v "fuzz-reachability" (fun enc ->
+          MS.Property.reachability enc ~sources:[ src ] dest)
+    in
+    let r = MS.Verify.run_query enc q in
+    (match r.MS.Verify.Report.certificate with
+     | MS.Verify.Report.Checked_unsat_proof _ | MS.Verify.Report.Checked_model -> ()
+     | MS.Verify.Report.Uncertified ->
+       QCheck.Test.fail_reportf "%s: verdict left uncertified with --certify on" label
+     | MS.Verify.Report.Certification_failed msg ->
+       QCheck.Test.fail_reportf "%s: certification failed: %s" label msg);
+    (match r.MS.Verify.Report.verdict with
+     | MS.Verify.Report.Verified ->
+       (* holds for every environment, hence for the empty one *)
+       let state = Routing.Simulator.run net Routing.Simulator.empty_env in
+       if Routing.Simulator.converged state then begin
+         let ip = Net.Prefix.first dest_prefix in
+         if not (Routing.Dataplane.reachable net state ~src ~dst:ip) then
+           QCheck.Test.fail_reportf
+             "%s: SMT says reachable in every environment, simulator disagrees in the empty one"
+             label
+       end
+     | MS.Verify.Report.Violated _ -> ()
+     | MS.Verify.Report.Timeout | MS.Verify.Report.Error _ ->
+       QCheck.Test.fail_reportf "%s: query timed out or errored" label);
+    true
+
+let prop_enterprise =
+  QCheck.Test.make ~name:"mutated enterprise nets: certified differential" ~count:fuzz_count
+    (QCheck.make QCheck.Gen.(int_range 0 99999))
+    (fun seed ->
+      let t =
+        G.Enterprise.make ~seed:(seed mod 37) ~routers:(4 + (seed mod 4))
+          ~inject:G.Enterprise.no_bugs ()
+      in
+      let net = t.G.Enterprise.network in
+      let devices = List.map (fun (d : A.device) -> d.A.dev_name) net.A.net_devices in
+      let src = List.hd devices in
+      let dest_device = List.hd (List.rev devices) in
+      check_one "enterprise" seed net ~src ~dest_device
+        ~dest_prefix:(t.G.Enterprise.mgmt_prefix dest_device))
+
+let prop_fattree =
+  QCheck.Test.make ~name:"mutated fattree nets: certified differential" ~count:fuzz_count
+    (QCheck.make QCheck.Gen.(int_range 0 99999))
+    (fun seed ->
+      let ft = G.Fattree.make ~pods:2 in
+      let net = ft.G.Fattree.network in
+      let dst_tor = List.hd ft.G.Fattree.tors in
+      let src = List.hd (List.filter (fun t -> t <> dst_tor) ft.G.Fattree.tors) in
+      check_one "fattree" seed net ~src ~dest_device:dst_tor
+        ~dest_prefix:(ft.G.Fattree.tor_subnet dst_tor))
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_enterprise;
+          QCheck_alcotest.to_alcotest prop_fattree;
+        ] );
+    ]
