@@ -12,9 +12,14 @@
 # and fattree suites must carry a positive certificate — UNSAT proofs
 # replayed through the independent checker, SAT models evaluated and
 # simulated — with zero Uncertified verdicts and verdict agreement
-# against the uncertified pass).
+# against the uncertified pass), and the symmetry-scale smoke
+# benchmark (the quotient encoding must agree with the full encoding
+# on every fat-tree point both modes ran, with the speedup gated
+# above a noise floor; full-mode points past the wall-clock budget
+# are skipped with an explicit label, mirroring the parallel bench's
+# skipped_low_cores convention).
 
-.PHONY: all build test lint fuzz coverage bench-smoke bench-parallel-smoke bench-solver-smoke certify-smoke check clean
+.PHONY: all build test lint fuzz coverage bench-smoke bench-parallel-smoke bench-solver-smoke certify-smoke bench-scale-smoke check clean
 
 all: build
 
@@ -67,7 +72,10 @@ bench-solver-smoke: build
 certify-smoke: build
 	dune exec bench/main.exe -- certify --smoke
 
-check: build test lint bench-smoke bench-parallel-smoke bench-solver-smoke certify-smoke
+bench-scale-smoke: build
+	dune exec bench/main.exe -- scale --smoke
+
+check: build test lint bench-smoke bench-parallel-smoke bench-solver-smoke certify-smoke bench-scale-smoke
 
 clean:
 	dune clean

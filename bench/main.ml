@@ -34,10 +34,18 @@
                  uncertified verdicts, and both certificate kinds are
                  always gated; the 2x overhead budget is gated above a
                  noise floor
+     scale       symmetry-reduction sweep over fat-trees of paper
+                 scale (pods 2-18, i.e. 5-405 routers): all-ToR
+                 reachability with the quotient encoding vs the full
+                 encoding; writes BENCH_scale.json.  Verdict agreement
+                 is gated wherever both modes ran; once one full-mode
+                 point blows the wall-clock budget the remaining full
+                 points are skipped with an explicit label (the
+                 quotient points always run to 405 routers)
      micro       Bechamel micro-benchmarks of the SMT substrate
      all         everything above
 
-   Usage: dune exec bench/main.exe -- [fig7|fig8|opts|violations|batch|parallel|solver|certify|micro|all] [--full|--smoke]
+   Usage: dune exec bench/main.exe -- [fig7|fig8|opts|violations|batch|parallel|solver|certify|scale|micro|all] [--full|--smoke]
 
    By default the expensive sweeps are subsampled so the whole harness
    finishes in minutes; pass --full for the complete paper-scale runs
@@ -927,6 +935,166 @@ let certify_bench ~smoke () =
     Printf.printf "   certify OK: identical verdicts, every verdict certified, overhead %.2fx\n%!"
       overhead
 
+(* ---------------- symmetry-reduction scale sweep ---------------- *)
+
+(* The paper-scale fat-tree curve (pods 2-18, 5-405 routers): all-ToR
+   reachability to one pinned ToR subnet, answered on the symmetry
+   quotient (one representative per interchangeability class, sources
+   projected through the class map) and on the full encoding.  The
+   quotient points run at every size; the full encoding gets a
+   wall-clock budget, and once one point blows it the remaining full
+   points are skipped with an explicit skipped_off_budget label —
+   mirroring the parallel bench's skipped_low_cores convention — so a
+   missing number is a recorded decision, not a silent gap.  Verdict
+   agreement is gated wherever both modes ran; the speedup gate applies
+   at the largest size both modes completed, above a noise floor. *)
+let scale ~smoke () =
+  print_endline "== symmetry reduction: quotient vs full encoding across fabric sizes ==";
+  let sizes = if smoke then [ 2; 6 ] else [ 2; 6; 10; 14; 18 ] in
+  let off_budget_ms = if smoke then 20_000.0 else 300_000.0 in
+  Printf.printf "   pods %s; full-encoding budget %.0f s per point\n%!"
+    (String.concat "," (List.map string_of_int sizes))
+    (off_budget_ms /. 1000.0);
+  let off_exhausted = ref false in
+  let rows =
+    List.map
+      (fun pods ->
+        let ft = G.Fattree.make ~pods in
+        let net = ft.G.Fattree.network in
+        let routers = List.length net.A.net_devices in
+        let dst_tor = List.hd ft.G.Fattree.tors in
+        let other_tors = List.filter (fun t -> t <> dst_tor) ft.G.Fattree.tors in
+        let dest = MS.Property.Subnet (dst_tor, ft.G.Fattree.tor_subnet dst_tor) in
+        (* quotient: pin the destination ToR, project the sources *)
+        let enc_on, on_encode_ms =
+          time (fun () ->
+              MS.Encode.build ~pins:[ dst_tor ] net
+                (MS.Options.with_symmetry MS.Options.default))
+        in
+        let srcs_on = MS.Encode.project_devices enc_on other_tors in
+        let o_on, on_solve_ms =
+          time (fun () ->
+              MS.Verify.check enc_on (MS.Property.reachability enc_on ~sources:srcs_on dest))
+        in
+        let on_total = on_encode_ms +. on_solve_ms in
+        let q_devices = List.length (MS.Encode.devices enc_on) in
+        let classes = MS.Encode.sym_classes enc_on in
+        Printf.printf
+          "   pods=%-2d (%3d rtrs)  quotient %3d devices, %d classes  %-9s %10.1f ms\n%!" pods
+          routers q_devices (List.length classes) (outcome_str o_on) on_total;
+        let off =
+          if !off_exhausted then begin
+            Printf.printf
+              "   pods=%-2d (%3d rtrs)  full      skipped_off_budget (an earlier point blew \
+               the %.0f s budget)\n%!"
+              pods routers (off_budget_ms /. 1000.0);
+            None
+          end
+          else begin
+            let enc_off, off_encode_ms =
+              time (fun () -> MS.Encode.build net MS.Options.default)
+            in
+            let o_off, off_solve_ms =
+              time (fun () ->
+                  MS.Verify.check enc_off
+                    (MS.Property.reachability enc_off ~sources:other_tors dest))
+            in
+            let off_total = off_encode_ms +. off_solve_ms in
+            if off_total > off_budget_ms then off_exhausted := true;
+            let agree = outcome_str o_on = outcome_str o_off in
+            Printf.printf "   pods=%-2d (%3d rtrs)  full      %3d devices             %-9s %10.1f ms  speedup %5.2fx%s\n%!"
+              pods routers routers (outcome_str o_off) off_total (off_total /. on_total)
+              (if agree then "" else "  !! verdicts diverge");
+            Some (off_encode_ms, off_solve_ms, off_total, outcome_str o_off, agree)
+          end
+        in
+        (pods, routers, on_encode_ms, on_solve_ms, on_total, outcome_str o_on, q_devices,
+         List.length classes, off))
+      sizes
+  in
+  let agree_everywhere =
+    List.for_all
+      (fun (_, _, _, _, _, _, _, _, off) ->
+        match off with Some (_, _, _, _, agree) -> agree | None -> true)
+      rows
+  in
+  (* largest size both modes completed, for the speedup gate *)
+  let largest_both =
+    List.fold_left
+      (fun acc ((_, _, _, _, on_total, _, _, _, off) as _row) ->
+        match off with
+        | Some (_, _, off_total, _, _) -> Some (_row, off_total /. on_total, off_total)
+        | None -> acc)
+      None rows
+  in
+  let buf = Buffer.create 4096 in
+  let quote = Msutil.Json.quote in
+  Buffer.add_string buf "{\n  \"benchmark\": \"scale\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"off_budget_ms\": %.0f,\n  \"sizes\": [\n" off_budget_ms);
+  let nrows = List.length rows in
+  List.iteri
+    (fun i (pods, routers, on_e, on_s, on_t, on_v, q_devices, nclasses, off) ->
+      let off_json =
+        match off with
+        | Some (e, s, t, v, agree) ->
+          Printf.sprintf
+            "{ \"status\": \"ok\", \"encode_ms\": %.2f, \"solve_ms\": %.2f, \"total_ms\": \
+             %.2f, \"verdict\": %s, \"agrees_with_symmetry\": %b }"
+            e s t (quote v) agree
+        | None -> "{ \"status\": \"skipped_off_budget\" }"
+      in
+      let speedup =
+        match off with
+        | Some (_, _, t, _, _) -> Printf.sprintf ", \"speedup\": %.3f" (t /. on_t)
+        | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"pods\": %d, \"routers\": %d,\n      \"symmetry_on\": { \"encode_ms\": \
+            %.2f, \"solve_ms\": %.2f, \"total_ms\": %.2f, \"verdict\": %s, \
+            \"devices_encoded\": %d, \"classes\": %d },\n      \"symmetry_off\": %s%s }%s\n"
+           pods routers on_e on_s on_t (quote on_v) q_devices nclasses off_json speedup
+           (if i = nrows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  (match largest_both with
+   | Some ((pods, _, _, _, _, _, _, _, _), speedup, _) ->
+     Buffer.add_string buf
+       (Printf.sprintf
+          "  \"largest_both_modes_pods\": %d,\n  \"speedup_at_largest_both\": %.3f,\n" pods
+          speedup)
+   | None -> ());
+  Buffer.add_string buf (Printf.sprintf "  \"verdicts_agree\": %b\n}\n" agree_everywhere);
+  let oc = open_out "BENCH_scale.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_endline "   wrote BENCH_scale.json";
+  if not agree_everywhere then begin
+    prerr_endline "bench scale: verdict divergence between quotient and full encodings";
+    exit 1
+  end;
+  (* the ratio is only signal when the full-mode point is slow enough
+     to measure, same floor convention as the solver/certify benches *)
+  let floor_ms = 300.0 in
+  let target = 2.0 in
+  (match largest_both with
+   | Some ((pods, _, _, _, _, _, _, _, _), speedup, off_total) ->
+     if off_total >= floor_ms && speedup < target then begin
+       Printf.eprintf
+         "bench scale: speedup %.2fx at pods=%d below the %.1fx target (full %.1f ms)\n"
+         speedup pods target off_total;
+       exit 1
+     end
+     else if off_total < floor_ms then
+       Printf.printf
+         "   (speedup gate skipped: full encoding %.1f ms under the %.0f ms floor — \
+          agreement still enforced)\n%!"
+         off_total floor_ms
+     else
+       Printf.printf "   scale OK: identical verdicts, %.2fx at pods=%d\n%!" speedup pods
+   | None -> print_endline "   (no size completed in both modes; agreement gate vacuous)")
+
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
 let micro () =
@@ -1017,6 +1185,7 @@ let () =
    | "parallel" -> parallel ~smoke ()
    | "solver" -> solver_bench ~smoke ()
    | "certify" -> certify_bench ~smoke ()
+   | "scale" -> scale ~smoke ()
    | "all" ->
      fig7 ();
      print_newline ();
@@ -1034,10 +1203,12 @@ let () =
      print_newline ();
      certify_bench ~smoke ();
      print_newline ();
+     scale ~smoke ();
+     print_newline ();
      micro ()
    | other ->
      Printf.eprintf
-       "unknown benchmark %s (fig7|fig8|opts|violations|batch|parallel|solver|certify|micro|all)\n"
+       "unknown benchmark %s (fig7|fig8|opts|violations|batch|parallel|solver|certify|scale|micro|all)\n"
        other;
      exit 2);
   Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

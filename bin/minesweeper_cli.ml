@@ -140,19 +140,65 @@ let verify_cmd =
              evaluation plus concrete simulator replay. A verdict whose certificate fails \
              makes the exit status 4.")
   in
+  let symmetry =
+    Arg.(
+      value & flag
+      & info [ "symmetry" ]
+          ~doc:
+            "Verify the symmetry quotient instead of the full network: devices are \
+             partitioned into interchangeability classes (color refinement over \
+             renaming-invariant configuration fingerprints) and one representative per class \
+             is encoded. Devices the property names ($(b,--dst-device), $(b,--source), \
+             $(b,--devices), $(b,--allowed)) are pinned and stay concrete; a verdict for a \
+             representative lifts to every member of its class. Falls back to the full \
+             encoding when the network is asymmetric or uses features whose quotient \
+             semantics would differ (iBGP, statics with internal next hops, \
+             $(b,--failures)); ignored for $(b,--batch all-pairs), where every destination \
+             must stay concrete.")
+  in
   let run file property sources dst_device dst_prefix bound devices max_len failures naive slice
-        no_lint allowed batch jobs timeout portfolio format certify =
+        no_lint allowed batch jobs timeout portfolio format certify symmetry =
     let net = load_network file in
     let opts = opts_of ~slice naive failures in
     let opts = if no_lint then { opts with MS.Options.preflight_lint = false } else opts in
     let opts = if certify then MS.Options.with_certify opts else opts in
+    let symmetry =
+      if symmetry && (match batch with Some names -> List.mem "all-pairs" names | None -> false)
+      then begin
+        prerr_endline
+          "note: --symmetry is ignored for --batch all-pairs (every destination must stay \
+           concrete)";
+        false
+      end
+      else symmetry
+    in
+    let opts = if symmetry then MS.Options.with_symmetry opts else opts in
+    (* every device the property names must survive the quotient as
+       itself, so pin the user-specified endpoints *)
+    let pins =
+      if not symmetry then []
+      else (match dst_device with Some d -> [ d ] | None -> []) @ devices @ allowed @ sources
+    in
     let enc =
-      try MS.Encode.build net opts with
+      try MS.Encode.build ~pins net opts with
       | Analysis.Lint.Lint_errors errs ->
         prerr_endline "configuration has lint errors; not encoding:";
         prerr_string (Analysis.Diagnostic.render_text errs);
         exit 2
     in
+    if symmetry then begin
+      match MS.Encode.sym_classes enc with
+      | [] ->
+        prerr_endline
+          "symmetry: no reduction possible (asymmetric network or unsupported features); \
+           verifying the full encoding"
+      | cs ->
+        let collapsed =
+          List.fold_left (fun acc (_, ms) -> acc + List.length ms - 1) 0 cs
+        in
+        Printf.eprintf "symmetry: %d device(s) collapsed into %d class representative(s)\n%!"
+          collapsed (List.length cs)
+    end;
     let all_devices = MS.Encode.devices enc in
     let sources = if sources = [] then all_devices else sources in
     let dest () =
@@ -300,7 +346,7 @@ let verify_cmd =
     Term.(
       const run $ file_arg $ property $ sources $ dst_device $ dst_prefix $ bound $ devices
       $ max_len $ failures $ naive $ slice $ no_lint $ allowed $ batch $ jobs $ timeout
-      $ portfolio $ format $ certify)
+      $ portfolio $ format $ certify $ symmetry)
 
 (* ---- lint ---- *)
 
@@ -308,15 +354,16 @@ let lint_cmd =
   let format =
     Arg.(
       value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format"; "f" ] ~doc:"Output format: text or json.")
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+      & info [ "format"; "f" ] ~doc:"Output format: text, json, or sarif (SARIF 2.1.0).")
   in
   let run file format =
     let net = load_network file in
     let diags = Analysis.Lint.run net in
     (match format with
      | `Text -> print_string (Analysis.Diagnostic.render_text diags)
-     | `Json -> print_string (Analysis.Diagnostic.render_json diags));
+     | `Json -> print_string (Analysis.Diagnostic.render_json diags)
+     | `Sarif -> print_string (Analysis.Diagnostic.render_sarif ~uri:file diags));
     exit (Analysis.Lint.exit_code diags)
   in
   Cmd.v

@@ -70,24 +70,11 @@ let render_text diags =
 
 (* -- JSON rendering ------------------------------------------------------------- *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let json_opt = function
-  | None -> "null"
-  | Some s -> Printf.sprintf "\"%s\"" (json_escape s)
+(* Escaping lives in the shared Msutil.Json module so the lint
+   diagnostics, the verification reports and the bench writers cannot
+   drift apart; these aliases keep the historical local names. *)
+let json_escape = Msutil.Json.escape
+let json_opt = Msutil.Json.opt
 
 let to_json d =
   Printf.sprintf
@@ -101,3 +88,84 @@ let render_json diags =
     "{\"diagnostics\":[%s],\"summary\":{\"errors\":%d,\"warnings\":%d,\"infos\":%d}}\n"
     (String.concat "," (List.map to_json diags))
     (count Error diags) (count Warning diags) (count Info diags)
+
+(* -- SARIF 2.1.0 rendering ------------------------------------------------------ *)
+
+(* One-line titles for the stable codes, used as SARIF rule
+   shortDescriptions (the README carries the same table in prose).
+   A code missing here still renders — the rule just reuses its id. *)
+let known_codes =
+  [
+    ("MS-E001", "reference to an undefined route-map");
+    ("MS-E002", "reference to an undefined prefix-list");
+    ("MS-E003", "reference to an undefined access-list");
+    ("MS-E301", "BGP remote-as disagrees with the neighbor's configured AS");
+    ("MS-E302", "BGP neighbor address belongs to a device that runs no BGP");
+    ("MS-E303", "two interfaces of one device share a subnet");
+    ("MS-E304", "BGP neighbor address is one of the device's own interfaces");
+    ("MS-W101", "route-map defined but never applied");
+    ("MS-W102", "prefix-list defined but never matched");
+    ("MS-W103", "access-list defined but never applied");
+    ("MS-W201", "prefix-list entry can never match");
+    ("MS-W202", "access-list entry shadowed by an earlier entry");
+    ("MS-W203", "route-map clause can never match");
+    ("MS-W204", "route-map clause unreachable");
+    ("MS-W301", "one-sided BGP session");
+    ("MS-W302", "router-id configured on several devices");
+    ("MS-W303", "iBGP group neither fully meshed nor covered by a route reflector");
+    ("MS-W304", "OSPF network statement matches no interface address");
+    ("MS-W305", "BGP neighbor address not on any connected subnet");
+    ("MS-W401", "near-symmetry broken: device differs from its topological role peers");
+  ]
+
+let sarif_level = function Error -> "error" | Warning -> "warning" | Info -> "note"
+
+(* Minimal but valid SARIF 2.1.0: one run, one driver, stable rule ids,
+   one result per diagnostic.  [uri] names the analyzed configuration
+   file so CI annotation surfaces have an artifact to attach to. *)
+let render_sarif ?(uri = "network.cfg") diags =
+  let q = Msutil.Json.quote in
+  let rule_ids =
+    List.sort_uniq Stdlib.compare (List.map (fun d -> (d.code, d.severity)) diags)
+  in
+  let rules =
+    List.map
+      (fun (code, sev) ->
+        let title =
+          match List.assoc_opt code known_codes with Some t -> t | None -> code
+        in
+        Printf.sprintf
+          "{\"id\":%s,\"shortDescription\":{\"text\":%s},\"defaultConfiguration\":{\"level\":%s}}"
+          (q code) (q title) (q (sarif_level sev)))
+      rule_ids
+  in
+  let results =
+    List.map
+      (fun d ->
+        let logical =
+          match (d.device, d.obj) with
+          | Some dev, Some o -> Some (dev ^ "/" ^ o)
+          | Some dev, None -> Some dev
+          | None, Some o -> Some o
+          | None, None -> None
+        in
+        let location =
+          Printf.sprintf
+            "{\"physicalLocation\":{\"artifactLocation\":{\"uri\":%s}}%s}"
+            (q uri)
+            (match logical with
+             | Some l ->
+               Printf.sprintf ",\"logicalLocations\":[{\"fullyQualifiedName\":%s}]" (q l)
+             | None -> "")
+        in
+        Printf.sprintf
+          "{\"ruleId\":%s,\"level\":%s,\"message\":{\"text\":%s},\"locations\":[%s]}"
+          (q d.code)
+          (q (sarif_level d.severity))
+          (q d.message) location)
+      diags
+  in
+  Printf.sprintf
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"minesweeper-lint\",\"rules\":[%s]}},\"results\":[%s]}]}\n"
+    (String.concat "," rules)
+    (String.concat "," results)

@@ -8,7 +8,8 @@ module D = Diagnostic
 exception Lint_errors of D.t list
 
 let run (net : Config.Ast.network) =
-  Refs.check net @ Deadcode.check net @ Consistency.check net |> List.sort D.compare
+  Refs.check net @ Deadcode.check net @ Consistency.check net @ Symmetry.check net
+  |> List.sort D.compare
 
 let errors diags = List.filter D.is_error diags
 

@@ -22,6 +22,11 @@ type t = {
   announcements : announcement list;
   failures : (string * string) list;
   forwarding : (string * Nexthop.t) list;  (** active data-plane edges *)
+  classes : (string * string list) list;
+      (** symmetry classes of the encoding ([representative ->
+          concrete members]): device names above are quotient
+          representatives, and each one stands for every member of its
+          class.  Empty for a full encoding. *)
 }
 
 let eval_int model term =
@@ -77,6 +82,7 @@ let decode (enc : Encode.t) (model : Model.t) : t =
     announcements;
     failures;
     forwarding;
+    classes = Encode.sym_classes enc;
   }
 
 (* {2 Concrete replay}
@@ -187,6 +193,12 @@ let pp fmt t =
   List.iter (fun (a, b) -> fprintf fmt "failed link: %s -- %s@." a b) t.failures;
   List.iter
     (fun (d, h) -> fprintf fmt "fwd: %s -> %s@." d (Nexthop.to_string h))
-    t.forwarding
+    t.forwarding;
+  (* lift quotient representatives back to the concrete devices they
+     stand for *)
+  List.iter
+    (fun (rep, members) ->
+      fprintf fmt "symmetry: %s stands for {%s}@." rep (String.concat ", " members))
+    t.classes
 
 let to_string t = Format.asprintf "%a" pp t

@@ -41,6 +41,12 @@ type t = {
   import_int_tbl : (string * string, Sym_record.t) Hashtbl.t;
   export_ext_tbl : (string * string, Sym_record.t) Hashtbl.t;
   copies : (string, t * (string, T.t) Hashtbl.t) Hashtbl.t;
+  (* symmetry-quotient bookkeeping, filled by [build] when
+     [opts.symmetry] produced a reduction: representative -> full
+     concrete class (size >= 2 only), and collapsed member ->
+     representative.  Both empty for a full encoding. *)
+  mutable sym_classes : (string * string list) list;
+  mutable sym_rep : (string * string) list;
 }
 
 let network t = t.net
@@ -202,6 +208,8 @@ let rec build_general (net : A.network) (opts : Options.t) ~igp_only ~suffix ~ds
       import_int_tbl = Hashtbl.create 16;
       export_ext_tbl = Hashtbl.create 16;
       copies = Hashtbl.create 4;
+      sym_classes = [];
+      sym_rep = [];
     }
   in
   emit t (Packet.well_formed pkt);
@@ -959,10 +967,35 @@ and build_forwarding t (dev : A.device) =
       Hashtbl.replace t.df (d, h) df)
     (hops t d)
 
-let build ?(suffix = "") net opts =
+let sym_classes t = t.sym_classes
+let representative t d = match List.assoc_opt d t.sym_rep with Some r -> r | None -> d
+
+let project_devices t ds =
+  let present = devices t in
+  List.sort_uniq compare
+    (List.filter (fun d -> List.mem d present) (List.map (representative t) ds))
+
+let build ?(suffix = "") ?(pins = []) net opts =
   if opts.Options.preflight_lint then Analysis.Lint.preflight net;
   let net = if opts.Options.lint_slice then Analysis.Slice.network net else net in
-  build_general net opts ~igp_only:false ~suffix ~dst_const:None ~shared_failed:None
+  (* Symmetry quotient: substitute the reduced network when the
+     analysis finds interchangeable devices.  Disabled under
+     [max_failures]: one representative link stands for a whole class
+     of concrete links, so "at most k failures" would not mean the
+     same thing in the quotient. *)
+  let net, classes, rep =
+    if opts.Options.symmetry && opts.Options.max_failures = None then
+      match Analysis.Symmetry.reduce ~pins net with
+      | Some r ->
+        (r.Analysis.Symmetry.red_network, r.Analysis.Symmetry.red_classes,
+         r.Analysis.Symmetry.red_rep)
+      | None -> (net, [], [])
+    else (net, [], [])
+  in
+  let t = build_general net opts ~igp_only:false ~suffix ~dst_const:None ~shared_failed:None in
+  t.sym_classes <- classes;
+  t.sym_rep <- rep;
+  t
 
 let stats t =
   let n = List.length t.asserts in

@@ -13,7 +13,7 @@
 
 type t
 
-val build : ?suffix:string -> Config.Ast.network -> Options.t -> t
+val build : ?suffix:string -> ?pins:string list -> Config.Ast.network -> Options.t -> t
 (** [suffix] distinguishes variable names when several encodings of the
     same network coexist in one formula (equivalence and
     fault-invariance checks).
@@ -24,6 +24,17 @@ val build : ?suffix:string -> Config.Ast.network -> Options.t -> t
     not encoded.  When [opts.lint_slice] is set, provably-dead policy
     clauses and filter entries are deleted before encoding (verdicts
     are unchanged; see {!Analysis.Slice}).
+
+    When [opts.symmetry] is set, the symmetry analysis
+    ({!Analysis.Symmetry.reduce}) replaces the network by its quotient:
+    one representative device per interchangeability class.  [pins]
+    names devices that must survive as themselves — pin every device a
+    property refers to by name (destination, equivalence pair), or the
+    property construction fails with [Invalid_argument].  The reduction
+    bails out to the full encoding on asymmetric networks and on
+    feature combinations whose quotient semantics would differ (iBGP,
+    statics with internal next hops, intra-class links,
+    [max_failures]); [pins] is ignored when symmetry is off.
     @raise Analysis.Lint.Lint_errors on Error-level lint findings. *)
 
 val network : t -> Config.Ast.network
@@ -82,3 +93,19 @@ val subnets : t -> string -> Net.Prefix.t list
 
 val stats : t -> int * int
 (** (number of assertions, total term DAG size) — for reporting. *)
+
+val sym_classes : t -> (string * string list) list
+(** [(representative, concrete class members)] for every symmetry class
+    of size at least two that the quotient collapsed; [[]] for a full
+    encoding.  The verdict for a representative lifts to every member
+    of its class. *)
+
+val representative : t -> string -> string
+(** The device standing for [d] in this encoding: [d] itself unless it
+    was collapsed into a symmetry class representative. *)
+
+val project_devices : t -> string list -> string list
+(** Map concrete device names through {!representative} and keep the
+    ones present in this encoding, sorted and deduplicated — how
+    source/allowed device sets written against the full network are
+    carried into a quotient encoding. *)

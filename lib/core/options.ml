@@ -29,6 +29,18 @@ type t = {
           peer not announcing, which the symbolic environment already
           covers; fault-invariance checking therefore uses this mode to
           avoid double-counting the environment as a "failure". *)
+  symmetry : bool;
+      (** Quotient encoding by symmetry reduction: partition the devices
+          into interchangeability classes ({!Analysis.Symmetry.classes},
+          color refinement seeded by renaming-invariant config
+          fingerprints) and encode one representative per class instead
+          of the full network.  Property endpoints must be pinned via
+          [Encode.build ~pins] so their classes stay singletons.  The
+          reduction conservatively bails out to the full encoding for
+          asymmetric networks and for feature combinations whose
+          quotient semantics differ (iBGP, statics with internal next
+          hops, intra-class links, [max_failures]); see DESIGN.md for
+          the soundness argument. *)
   preflight_lint : bool;
       (** Run the {!Analysis} linter before encoding and refuse to
           encode a network with Error-level findings (undefined policy
@@ -70,6 +82,7 @@ let default =
     merge_dataplane = true;
     max_failures = None;
     fail_internal_only = false;
+    symmetry = false;
     preflight_lint = true;
     lint_slice = false;
     strategy = Smt.Solver.default_strategy;
@@ -80,6 +93,7 @@ let default =
 let naive = { default with hoist_prefixes = false; slice_unused = false; merge_filters = false; merge_dataplane = false }
 
 let with_failures k t = { t with max_failures = Some k }
+let with_symmetry t = { t with symmetry = true }
 let with_slicing t = { t with lint_slice = true }
 let with_strategy st t = { t with strategy = st }
 let with_features f t = { t with solver_features = f }

@@ -26,8 +26,28 @@ let prop_real name =
   incr fresh_prop_counter;
   T.var (Printf.sprintf "prop!%d.%s" !fresh_prop_counter name) Smt.Sort.Real
 
+(* A property that names a device is only meaningful when that device
+   survives in the encoding as itself.  Under a symmetry quotient
+   ([Options.symmetry]) a collapsed device has no forwarding variables,
+   so the terms below would silently degenerate to [T.fls] and produce a
+   bogus verdict — fail loudly instead and tell the caller to pin the
+   device ({!Encode.build} [~pins]) or project it
+   ({!Encode.project_devices}). *)
+let require_concrete enc d =
+  let r = Encode.representative enc d in
+  if r <> d then
+    invalid_arg
+      (Printf.sprintf
+         "Property: device %s was collapsed into symmetry class representative %s; pin it via Encode.build ~pins or map it through Encode.project_devices"
+         d r)
+
+let require_concrete_dest enc = function
+  | Subnet (owner, _) | Device owner -> require_concrete enc owner
+  | External_peer _ -> ()
+
 (* Constraints a destination puts on the symbolic packet. *)
 let dst_assumptions enc dest =
+  require_concrete_dest enc dest;
   let pkt = Encode.packet enc in
   match dest with
   | Subnet (_, p) -> [ Packet.dst_in_prefix pkt p ]
@@ -66,6 +86,7 @@ let reach_terms enc dest =
   (get, defs)
 
 let reachability enc ~sources dest =
+  List.iter (require_concrete enc) sources;
   let reach, defs = reach_terms enc dest in
   {
     instrumentation = defs;
@@ -74,6 +95,7 @@ let reachability enc ~sources dest =
   }
 
 let isolation enc ~sources dest =
+  List.iter (require_concrete enc) sources;
   let reach, defs = reach_terms enc dest in
   {
     instrumentation = defs;
@@ -116,6 +138,7 @@ let reach_with_length enc dest =
   (reach, len, defs)
 
 let bounded_length enc ~sources dest ~bound =
+  List.iter (require_concrete enc) sources;
   let reach, len, defs = reach_with_length enc dest in
   {
     instrumentation = defs;
@@ -126,6 +149,7 @@ let bounded_length enc ~sources dest ~bound =
   }
 
 let equal_lengths enc ~sources dest =
+  List.iter (require_concrete enc) sources;
   let reach, len, defs = reach_with_length enc dest in
   let rec pairs = function
     | a :: (b :: _ as rest) -> (a, b) :: pairs rest
@@ -143,6 +167,7 @@ let equal_lengths enc ~sources dest =
   }
 
 let waypoint enc ~sources dest ~via =
+  List.iter (require_concrete enc) (via :: sources);
   let reach, defs = reach_terms enc dest in
   (* [wp d]: every delivered forwarding branch from [d] traverses [via]
      before reaching the destination (all-paths semantics, so an ECMP
@@ -175,6 +200,7 @@ let waypoint enc ~sources dest ~via =
   }
 
 let disjoint_paths enc d1 d2 dest =
+  List.iter (require_concrete enc) [ d1; d2 ];
   (* on_i(d): d lies on a forwarding path from d_i toward the destination *)
   let make src =
     let tbl = Hashtbl.create 16 in
@@ -327,6 +353,7 @@ let acl_verdict enc d =
     T.and_ acl_terms
 
 let acl_equivalence enc d1 d2 =
+  List.iter (require_concrete enc) [ d1; d2 ];
   {
     instrumentation = [];
     assumptions = [];
@@ -356,6 +383,7 @@ let multipath_consistency enc dest =
   }
 
 let neighbor_preference enc ~device ~peers =
+  require_concrete enc device;
   (* §5: if an advertisement survives the import filter and all more
      preferred ones do not, the device forwards to that neighbor. *)
   let import p = Encode.import_from_external enc device p in
@@ -371,6 +399,7 @@ let neighbor_preference enc ~device ~peers =
   { instrumentation = []; assumptions = []; goal = T.and_ (conds [] peers) }
 
 let load_balance enc ~sources dest ~pair:(da, db) ~threshold =
+  List.iter (require_concrete enc) (da :: db :: sources);
   let q = T.rat_const in
   let module Rat = Exactnum.Rat in
   (* per-device totals and per-edge shares (§5 load balancing) *)
@@ -461,6 +490,7 @@ let record_eq (a : Sym_record.t) (b : Sym_record.t) =
    filter differences are caught); internal sessions are paired by
    sorted peer name and their post-import records equated. *)
 let local_equivalence enc d1 d2 =
+  List.iter (require_concrete enc) [ d1; d2 ];
   let ext1 = List.map fst (Encode.external_peers enc d1) in
   let ext2 = List.map fst (Encode.external_peers enc d2) in
   let int1 = Encode.internal_imports enc d1 in

@@ -108,19 +108,10 @@ module Report = struct
     if st.Solver.conflicts = 0 then 0.0
     else float_of_int st.Solver.decisions /. float_of_int st.Solver.conflicts
 
-  let json_escape s =
-    let buf = Buffer.create (String.length s + 8) in
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '\n' -> Buffer.add_string buf "\\n"
-        | '\t' -> Buffer.add_string buf "\\t"
-        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      s;
-    Buffer.contents buf
+  (* The one string-escaping implementation shared with the lint
+     diagnostics and the bench writers (Msutil.Json); the historical
+     name stays because the bench harness and CLI key on it. *)
+  let json_escape = Msutil.Json.escape
 
   (* One JSON object per report — the single renderer behind both the
      CLI's --format json and the bench harness. *)
@@ -146,7 +137,16 @@ module Report = struct
                   (fun (a, b) -> Printf.sprintf "[\"%s\",\"%s\"]" (json_escape a) (json_escape b))
                   cx.Counterexample.failures))
             (List.length cx.Counterexample.announcements)
-            (List.length cx.Counterexample.forwarding))
+            (List.length cx.Counterexample.forwarding));
+       if cx.Counterexample.classes <> [] then
+         Buffer.add_string buf
+           (Printf.sprintf ",\"symmetry_classes\":[%s]"
+              (String.concat ","
+                 (List.map
+                    (fun (rep, members) ->
+                      Printf.sprintf "{\"representative\":\"%s\",\"members\":%d}"
+                        (json_escape rep) (List.length members))
+                    cx.Counterexample.classes)))
      | Verified | Timeout -> ());
     (match r.certificate with
      | Uncertified -> ()
@@ -427,6 +427,10 @@ let two_copy_check enc1 enc2 ~extra_assumptions ~goal =
   check enc1 prop
 
 let equivalent net1 net2 opts =
+  (* two-copy checks compare devices by name across both encodings, so
+     each copy must contain every device: symmetry quotients (which may
+     collapse the two networks differently) are forced off *)
+  let opts = { opts with Options.symmetry = false } in
   let enc1 = Encode.build ~suffix:"@1" net1 opts in
   let enc2 = Encode.build ~suffix:"@2" net2 opts in
   let fwd_equal =
@@ -452,6 +456,10 @@ let equivalent net1 net2 opts =
   two_copy_check enc1 enc2 ~extra_assumptions:[] ~goal:(T.and_ (fwd_equal @ exports_equal))
 
 let fault_invariant net opts ~k ~sources dest =
+  (* same two-copy argument as [equivalent]; the failure copy would bail
+     out anyway ([max_failures] disables the reduction) but the healthy
+     copy must match it device-for-device *)
+  let opts = { opts with Options.symmetry = false } in
   let enc1 = Encode.build ~suffix:"@ok" net { opts with Options.max_failures = None } in
   let enc2 =
     Encode.build ~suffix:"@fail" net

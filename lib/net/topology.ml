@@ -38,6 +38,12 @@ let peer t name iface =
       else None)
     t.edges
 
+let restrict t ~keep =
+  {
+    devs = Smap.filter (fun d () -> keep d) t.devs;
+    edges = List.filter (fun l -> keep l.a.device && keep l.b.device) t.edges;
+  }
+
 let degree t name = List.length (neighbors t name)
 let num_devices t = Smap.cardinal t.devs
 let num_links t = List.length t.edges

@@ -31,6 +31,10 @@ val peer : t -> string -> string -> (string * string) option
 (** [peer t d iface] is the [(device, interface)] on the other side of
     the link attached to [d.iface], if any. *)
 
+val restrict : t -> keep:(string -> bool) -> t
+(** The sub-topology induced by the kept devices: devices failing
+    [keep] are removed along with every link touching them. *)
+
 val degree : t -> string -> int
 val num_devices : t -> int
 val num_links : t -> int

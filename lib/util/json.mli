@@ -1,0 +1,17 @@
+(** Minimal JSON string rendering shared by every emitter in the tree
+    (lint diagnostics, verification reports, bench writers).  This is
+    deliberately not a JSON library: the repo only ever *produces* JSON
+    from trusted data, so all that must be centralized is the one
+    subtle part — string escaping. *)
+
+val escape : string -> string
+(** Escape a string for inclusion between double quotes in a JSON
+    document: backslash, double quote, and all control characters
+    below U+0020 (named escapes for \n, \r, \t, \b, \f; \u00xx
+    otherwise).  Everything else passes through byte-for-byte. *)
+
+val quote : string -> string
+(** [quote s] is [escape s] wrapped in double quotes. *)
+
+val opt : string option -> string
+(** [opt None] is [null]; [opt (Some s)] is [quote s]. *)

@@ -1,0 +1,115 @@
+(* Tests of the shared JSON string escaping (Msutil.Json) — the one
+   implementation behind lint --format json/sarif, verify --format json
+   and every bench writer — plus sanity checks of the SARIF rendering
+   built on it. *)
+
+module D = Analysis.Diagnostic
+
+let test_escape_plain () =
+  Alcotest.(check string) "identity" "hello" (Msutil.Json.escape "hello");
+  Alcotest.(check string) "empty" "" (Msutil.Json.escape "")
+
+let test_escape_specials () =
+  Alcotest.(check string) "quote" "a\\\"b" (Msutil.Json.escape "a\"b");
+  Alcotest.(check string) "backslash" "a\\\\b" (Msutil.Json.escape "a\\b");
+  Alcotest.(check string) "newline" "a\\nb" (Msutil.Json.escape "a\nb");
+  Alcotest.(check string) "cr" "a\\rb" (Msutil.Json.escape "a\rb");
+  Alcotest.(check string) "tab" "a\\tb" (Msutil.Json.escape "a\tb");
+  Alcotest.(check string) "backspace" "a\\bb" (Msutil.Json.escape "a\bb");
+  Alcotest.(check string) "formfeed" "a\\fb" (Msutil.Json.escape "a\012b")
+
+let test_escape_control () =
+  Alcotest.(check string) "NUL" "\\u0000" (Msutil.Json.escape "\000");
+  Alcotest.(check string) "ESC" "\\u001b" (Msutil.Json.escape "\027");
+  (* bytes >= 0x20 pass through untouched, including 8-bit ones *)
+  Alcotest.(check string) "high byte" "\xc3\xa9" (Msutil.Json.escape "\xc3\xa9")
+
+let test_quote_and_opt () =
+  Alcotest.(check string) "quote wraps" "\"a\\\"b\"" (Msutil.Json.quote "a\"b");
+  Alcotest.(check string) "opt none" "null" (Msutil.Json.opt None);
+  Alcotest.(check string) "opt some" "\"x\"" (Msutil.Json.opt (Some "x"))
+
+(* every implementation that used to hand-roll escaping now goes
+   through the shared one *)
+let test_shared_everywhere () =
+  let nasty = "a\"b\\c\nd" in
+  Alcotest.(check string)
+    "verify report escaping is the shared escaping"
+    (Msutil.Json.escape nasty)
+    (Minesweeper.Verify.Report.json_escape nasty)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let sample_diags () =
+  [
+    D.make ~code:"MS-E101" ~severity:D.Error ~device:"r1" ~obj:"route-map \"RM\""
+      "undefined route-map";
+    D.make ~code:"MS-W401" ~severity:D.Warning ~device:"core_3"
+      "near-symmetry broken";
+  ]
+
+let test_sarif_shape () =
+  let s = D.render_sarif ~uri:"net.cfg" (sample_diags ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains ~needle s))
+    [
+      "\"version\":\"2.1.0\"";
+      "sarif-2.1.0.json";
+      "\"ruleId\":\"MS-E101\"";
+      "\"ruleId\":\"MS-W401\"";
+      "\"level\":\"error\"";
+      "\"level\":\"warning\"";
+      "\"uri\":\"net.cfg\"";
+      (* the device/object location and the escaped quotes inside it *)
+      "route-map \\\"RM\\\"";
+      "\"fullyQualifiedName\":\"core_3\"";
+    ]
+
+let test_sarif_rules_deduped () =
+  (* two findings with one code produce a single rule entry *)
+  let two =
+    [
+      D.make ~code:"MS-W401" ~severity:D.Warning ~device:"a" "x";
+      D.make ~code:"MS-W401" ~severity:D.Warning ~device:"b" "y";
+    ]
+  in
+  let s = D.render_sarif two in
+  let needle = "\"id\":\"" in
+  let nl = String.length needle in
+  let count_rule =
+    let rec go i acc =
+      if i + nl > String.length s then acc
+      else if String.sub s i nl = needle then go (i + nl) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one rule" 1 count_rule;
+  Alcotest.(check bool) "two results" true (contains ~needle:"\"results\":[" s)
+
+let test_sarif_empty () =
+  let s = D.render_sarif [] in
+  Alcotest.(check bool) "valid empty run" true (contains ~needle:"\"results\":[]" s)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "plain strings" `Quick test_escape_plain;
+          Alcotest.test_case "specials" `Quick test_escape_specials;
+          Alcotest.test_case "control chars" `Quick test_escape_control;
+          Alcotest.test_case "quote and opt" `Quick test_quote_and_opt;
+          Alcotest.test_case "shared by verify" `Quick test_shared_everywhere;
+        ] );
+      ( "sarif",
+        [
+          Alcotest.test_case "shape" `Quick test_sarif_shape;
+          Alcotest.test_case "rules deduped" `Quick test_sarif_rules_deduped;
+          Alcotest.test_case "empty" `Quick test_sarif_empty;
+        ] );
+    ]
