@@ -17,9 +17,13 @@
 # on every fat-tree point both modes ran, with the speedup gated
 # above a noise floor; full-mode points past the wall-clock budget
 # are skipped with an explicit label, mirroring the parallel bench's
-# skipped_low_cores convention).
+# skipped_low_cores convention), and the arena smoke benchmark (the
+# SAT core's steady-state propagation loop must allocate ~0 minor
+# words per propagation, all-off and all-on must agree on the hardest
+# query with all-on at least 2x faster above a noise floor, and the
+# arena-compaction path must actually run under reduction stress).
 
-.PHONY: all build test lint fuzz coverage bench-smoke bench-parallel-smoke bench-solver-smoke certify-smoke bench-scale-smoke check clean
+.PHONY: all build test lint fuzz coverage bench-smoke bench-parallel-smoke bench-solver-smoke certify-smoke bench-scale-smoke bench-arena-smoke check clean
 
 all: build
 
@@ -75,7 +79,10 @@ certify-smoke: build
 bench-scale-smoke: build
 	dune exec bench/main.exe -- scale --smoke
 
-check: build test lint bench-smoke bench-parallel-smoke bench-solver-smoke certify-smoke bench-scale-smoke
+bench-arena-smoke: build
+	dune exec bench/main.exe -- arena --smoke
+
+check: build test lint bench-smoke bench-parallel-smoke bench-solver-smoke certify-smoke bench-scale-smoke bench-arena-smoke
 
 clean:
 	dune clean

@@ -130,6 +130,10 @@ let check_ibgp_mesh (net : A.network) =
       if List.length group < 2 then None
       else begin
         let connected (a, _) (b, _) = has_session_to a b && has_session_to b a in
+        (* diagonal skip by device name — identity (==) on config
+           records would silently stop matching if a device were ever
+           re-parsed or copied between the two lists *)
+        let same (a, _) (b, _) = a.A.dev_name = b.A.dev_name in
         let is_rr (d, b) =
           List.exists
             (fun (n : A.bgp_neighbor) ->
@@ -144,7 +148,7 @@ let check_ibgp_mesh (net : A.network) =
             List.for_all
               (fun a ->
                 List.for_all
-                  (fun b -> fst a == fst b || connected a b)
+                  (fun b -> same a b || connected a b)
                   group)
               group
           else
@@ -155,7 +159,7 @@ let check_ibgp_mesh (net : A.network) =
                 || List.exists (fun r -> connected m r) rrs)
               group
             && List.for_all
-                 (fun a -> List.for_all (fun b -> fst a == fst b || connected a b) rrs)
+                 (fun a -> List.for_all (fun b -> same a b || connected a b) rrs)
                  rrs
         in
         if ok then None

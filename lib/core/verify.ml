@@ -99,6 +99,9 @@ module Report = struct
       preprocessed_clauses = 0;
       lbd_reductions = 0;
       checks = 0;
+      arena_words = 0;
+      arena_compactions = 0;
+      minor_words = 0.0;
     }
 
   (* Decisions per conflict: how much of the search is blind walking
@@ -163,12 +166,14 @@ module Report = struct
             (json_escape msg)));
     Buffer.add_string buf
       (Printf.sprintf
-         ",\"stats\":{\"conflicts\":%d,\"decisions\":%d,\"propagations\":%d,\"learned_clauses\":%d,\"restarts\":%d,\"theory_propagations\":%d,\"preprocessed_clauses\":%d,\"lbd_reductions\":%d,\"decisions_per_conflict\":%.2f}}"
+         ",\"stats\":{\"conflicts\":%d,\"decisions\":%d,\"propagations\":%d,\"learned_clauses\":%d,\"restarts\":%d,\"theory_propagations\":%d,\"preprocessed_clauses\":%d,\"lbd_reductions\":%d,\"decisions_per_conflict\":%.2f,\"arena_bytes\":%d,\"arena_compactions\":%d,\"minor_words\":%.0f}}"
          r.stats.Solver.conflicts r.stats.Solver.decisions r.stats.Solver.propagations
          r.stats.Solver.learned_clauses r.stats.Solver.restarts
          r.stats.Solver.theory_propagations r.stats.Solver.preprocessed_clauses
          r.stats.Solver.lbd_reductions
-         (decisions_per_conflict r.stats));
+         (decisions_per_conflict r.stats)
+         (r.stats.Solver.arena_words * (Sys.word_size / 8))
+         r.stats.Solver.arena_compactions r.stats.Solver.minor_words);
     Buffer.contents buf
 
   let list_to_json rs =
@@ -344,6 +349,12 @@ module Session = struct
       preprocessed_clauses = b.Solver.preprocessed_clauses - a.Solver.preprocessed_clauses;
       lbd_reductions = b.Solver.lbd_reductions - a.Solver.lbd_reductions;
       checks = b.Solver.checks - a.Solver.checks;
+      (* arena occupancy and compactions describe the shared session
+         solver, not one query: report the current footprint and the
+         per-query compaction/allocation deltas *)
+      arena_words = b.Solver.arena_words;
+      arena_compactions = b.Solver.arena_compactions - a.Solver.arena_compactions;
+      minor_words = b.Solver.minor_words -. a.Solver.minor_words;
     }
 
   let run_one s (q : Query.t) : Report.t =

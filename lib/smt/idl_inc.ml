@@ -1,21 +1,27 @@
-type constr = { x : int; y : int; k : int; tag : int }
-
-type edge = { ex : int; ey : int; ek : int; etag : int; pos : int }
+(* Edges live in a flat int arena, [stride] words per assertion, in
+   trail order.  The theory path asserts (and re-asserts, after every
+   backjump) hundreds of thousands of constraints per solve; keeping
+   them as unboxed ints instead of records means the hot path allocates
+   nothing and the GC never scans the stack. *)
+let stride = 5 (* ex, ey, ek, etag, pos *)
 
 type t = {
   n : int;
-  d : int array;  (* feasible: d.(x) <= d.(y) + k for every edge *)
-  out : int Vec.t array;  (* edge indices by source node [ey] *)
-  edges : edge Vec.t;  (* assertion stack, trail order *)
+  d : int array;  (* feasible: d.(ex) <= d.(ey) + ek for every edge *)
+  out : int Vec.t array;  (* edge base offsets by source node [ey] *)
+  edges : int Vec.t;  (* assertion stack, trail order, [stride] words each *)
   pred_src : int array;  (* repair bookkeeping *)
   pred_tag : int array;
+  queue : int Vec.t;  (* scratch: repair worklist (FIFO via a head index) *)
+  changes : int Vec.t;  (* scratch: (node, old distance) undo pairs *)
   ladders : (int * int, (int * int) list ref) Hashtbl.t;
       (* (x, y) -> atoms x - y <= k over that variable pair as (k, var)
          sorted by k ascending: the "ladder" x-y<=k implies x-y<=k' for
          every k' > k, which theory propagation exploits *)
+  mutable nbr_below : int array;  (* atom var -> adjacent rung var, or -1 *)
+  mutable nbr_above : int array;
+  mutable nbr_dirty : bool;
 }
-
-let dummy_edge = { ex = 0; ey = 0; ek = 0; etag = 0; pos = -1 }
 
 let create ~nvars =
   let n = max nvars 1 in
@@ -23,13 +29,19 @@ let create ~nvars =
     n;
     d = Array.make n 0;
     out = Array.init n (fun _ -> Vec.create ~dummy:(-1) ());
-    edges = Vec.create ~dummy:dummy_edge ();
+    edges = Vec.create ~dummy:0 ();
     pred_src = Array.make n (-1);
     pred_tag = Array.make n (-1);
+    queue = Vec.create ~dummy:(-1) ();
+    changes = Vec.create ~dummy:0 ();
     ladders = Hashtbl.create 256;
+    nbr_below = [||];
+    nbr_above = [||];
+    nbr_dirty = false;
   }
 
 let register_atom t ~x ~y ~k ~var =
+  t.nbr_dirty <- true;
   let key = (x, y) in
   let rung = (k, var) in
   match Hashtbl.find_opt t.ladders key with
@@ -38,90 +50,152 @@ let register_atom t ~x ~y ~k ~var =
     if not (List.mem rung !l) then
       l := List.sort (fun (ka, _) (kb, _) -> compare ka kb) (rung :: !l)
 
-let ladder_neighbors t ~x ~y ~k =
-  match Hashtbl.find_opt t.ladders (x, y) with
-  | None -> (None, None)
-  | Some l ->
-    let below = ref None and above = ref None in
-    List.iter
-      (fun (k', v') ->
-        if k' < k then below := Some (k', v')
-        else if k' > k && !above = None then above := Some (k', v'))
-      !l;
-    (!below, !above)
+(* Ladder adjacency is static once the atoms are registered, so the
+   per-rung neighbors are resolved into plain arrays indexed by SAT
+   variable: the per-assertion lookup in the DPLL(T) loop is then two
+   array reads instead of a hash probe plus a list walk. *)
+let rebuild_neighbors t =
+  let maxv =
+    Hashtbl.fold
+      (fun _ l acc -> List.fold_left (fun acc (_, v) -> max acc v) acc !l)
+      t.ladders (-1)
+  in
+  let below = Array.make (maxv + 1) (-1) in
+  let above = Array.make (maxv + 1) (-1) in
+  Hashtbl.iter
+    (fun _ l ->
+      let rungs = Array.of_list !l in
+      let m = Array.length rungs in
+      for i = 0 to m - 1 do
+        let k, v = rungs.(i) in
+        (* strictly weaker / stronger bounds only: equal-k duplicates
+           (distinct vars encoding one bound) are not lemma partners *)
+        let j = ref (i - 1) in
+        while !j >= 0 && fst rungs.(!j) >= k do
+          decr j
+        done;
+        if !j >= 0 then below.(v) <- snd rungs.(!j);
+        let j = ref (i + 1) in
+        while !j < m && fst rungs.(!j) <= k do
+          incr j
+        done;
+        if !j < m then above.(v) <- snd rungs.(!j)
+      done)
+    t.ladders;
+  t.nbr_below <- below;
+  t.nbr_above <- above;
+  t.nbr_dirty <- false
+
+let ladder_below t ~var =
+  if t.nbr_dirty then rebuild_neighbors t;
+  if var < Array.length t.nbr_below then t.nbr_below.(var) else -1
+
+let ladder_above t ~var =
+  if t.nbr_dirty then rebuild_neighbors t;
+  if var < Array.length t.nbr_above then t.nbr_above.(var) else -1
 
 exception Infeasible of int list
 
-let assert_constr t ~trail_pos (c : constr) =
-  if c.x < 0 || c.x >= t.n || c.y < 0 || c.y >= t.n then invalid_arg "Idl_inc.assert_constr";
-  if t.d.(c.x) <= t.d.(c.y) + c.k then begin
+let assert_constr t ~trail_pos ~x ~y ~k ~tag =
+  if x < 0 || x >= t.n || y < 0 || y >= t.n then invalid_arg "Idl_inc.assert_constr";
+  let d = t.d in
+  let edges = t.edges in
+  let commit () =
+    let base = Vec.size edges in
+    Vec.push edges x;
+    Vec.push edges y;
+    Vec.push edges k;
+    Vec.push edges tag;
+    Vec.push edges trail_pos;
+    Vec.push t.out.(y) base
+  in
+  if d.(x) <= d.(y) + k then begin
     (* already satisfied by the current distance function *)
-    Vec.push t.edges { ex = c.x; ey = c.y; ek = c.k; etag = c.tag; pos = trail_pos };
-    Vec.push t.out.(c.y) (Vec.size t.edges - 1);
-    Ok ()
+    commit ();
+    None
   end
   else begin
     (* repair: lower d.(x) to d.(y) + k and propagate decreases; a
        decrease reaching y again closes a negative cycle *)
-    let changes = ref [ (c.x, t.d.(c.x)) ] in
-    t.d.(c.x) <- t.d.(c.y) + c.k;
-    t.pred_src.(c.x) <- c.y;
-    t.pred_tag.(c.x) <- c.tag;
-    let queue = Queue.create () in
-    Queue.push c.x queue;
+    let changes = t.changes in
+    Vec.clear changes;
+    Vec.push changes x;
+    Vec.push changes d.(x);
+    d.(x) <- d.(y) + k;
+    t.pred_src.(x) <- y;
+    t.pred_tag.(x) <- tag;
+    let queue = t.queue in
+    Vec.clear queue;
+    Vec.push queue x;
+    let qhead = ref 0 in
     match
-      while not (Queue.is_empty queue) do
-        let u = Queue.pop queue in
-        let du = t.d.(u) in
-        Vec.iter
-          (fun ei ->
-            let e = Vec.get t.edges ei in
-            if du + e.ek < t.d.(e.ex) then begin
-              if e.ex = c.y then begin
-                (* negative cycle: new edge + path x ~> u + edge u->y *)
-                let tags = ref [ c.tag; e.etag ] in
-                let cur = ref u in
-                let steps = ref 0 in
-                while !cur <> c.x && !steps <= t.n do
-                  tags := t.pred_tag.(!cur) :: !tags;
-                  cur := t.pred_src.(!cur);
-                  incr steps
-                done;
-                if !steps > t.n then begin
-                  (* defensive: a stale predecessor chain; fall back to
-                     the (sound, non-minimal) full asserted set *)
-                  tags := c.tag :: [];
-                  Vec.iter (fun (e : edge) -> tags := e.etag :: !tags) t.edges
-                end;
-                raise (Infeasible !tags)
+      while !qhead < Vec.size queue do
+        let u = Vec.unsafe_get queue !qhead in
+        incr qhead;
+        let du = d.(u) in
+        let ou = t.out.(u) in
+        for oi = 0 to Vec.size ou - 1 do
+          let base = Vec.unsafe_get ou oi in
+          let ex = Vec.unsafe_get edges base in
+          let ek = Vec.unsafe_get edges (base + 2) in
+          if du + ek < d.(ex) then begin
+            let etag = Vec.unsafe_get edges (base + 3) in
+            if ex = y then begin
+              (* negative cycle: new edge + path x ~> u + edge u->y *)
+              let tags = ref [ tag; etag ] in
+              let cur = ref u in
+              let steps = ref 0 in
+              while !cur <> x && !steps <= t.n do
+                tags := t.pred_tag.(!cur) :: !tags;
+                cur := t.pred_src.(!cur);
+                incr steps
+              done;
+              if !steps > t.n then begin
+                (* defensive: a stale predecessor chain; fall back to
+                   the (sound, non-minimal) full asserted set *)
+                tags := [ tag ];
+                let m = Vec.size edges / stride in
+                for ei = 0 to m - 1 do
+                  tags := Vec.get edges ((ei * stride) + 3) :: !tags
+                done
               end;
-              changes := (e.ex, t.d.(e.ex)) :: !changes;
-              t.d.(e.ex) <- du + e.ek;
-              t.pred_src.(e.ex) <- u;
-              t.pred_tag.(e.ex) <- e.etag;
-              Queue.push e.ex queue
-            end)
-          t.out.(u)
+              raise (Infeasible !tags)
+            end;
+            Vec.push changes ex;
+            Vec.push changes d.(ex);
+            d.(ex) <- du + ek;
+            t.pred_src.(ex) <- u;
+            t.pred_tag.(ex) <- etag;
+            Vec.push queue ex
+          end
+        done
       done
     with
     | () ->
-      Vec.push t.edges { ex = c.x; ey = c.y; ek = c.k; etag = c.tag; pos = trail_pos };
-      Vec.push t.out.(c.y) (Vec.size t.edges - 1);
-      Ok ()
+      commit ();
+      None
     | exception Infeasible tags ->
-      (* roll the distances back; the constraint is not committed *)
-      List.iter (fun (v, old) -> t.d.(v) <- old) !changes;
-      Error (List.sort_uniq compare tags)
+      (* roll the distances back; the constraint is not committed.
+         Newest-to-oldest so a node touched twice ends on its original
+         (oldest) value. *)
+      let i = ref (Vec.size changes - 2) in
+      while !i >= 0 do
+        d.(Vec.unsafe_get changes !i) <- Vec.unsafe_get changes (!i + 1);
+        i := !i - 2
+      done;
+      Some (List.sort_uniq compare tags)
   end
 
 let backtrack t ~trail_size =
+  let edges = t.edges in
   let continue = ref true in
-  while !continue && Vec.size t.edges > 0 do
-    let e = Vec.last t.edges in
-    if e.pos >= trail_size then begin
-      let _ = Vec.pop t.edges in
-      let idx = Vec.pop t.out.(e.ey) in
-      assert (idx = Vec.size t.edges)
+  while !continue && Vec.size edges > 0 do
+    let base = Vec.size edges - stride in
+    if Vec.get edges (base + 4) >= trail_size then begin
+      let ey = Vec.get edges (base + 1) in
+      let idx = Vec.pop t.out.(ey) in
+      assert (idx = base);
+      Vec.shrink edges base
     end
     else continue := false
   done

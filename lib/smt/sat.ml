@@ -2,27 +2,40 @@
    - literal [2*v] is the positive literal of variable [v], [2*v+1] the
      negative one;
    - [assign.(v)] is [0] when unassigned, [1] when true, [-1] when false;
-   - a clause's two watched literals sit at positions 0 and 1 of [lits];
-   - [watches.(l)] holds the watchers for literal [l], each carrying a
-     blocking literal: when the blocker is true the clause is satisfied
-     and its literal array is never touched (cache-friendliness);
-   - the implied literal of a reason clause sits at position 0. *)
+   - a clause's two watched literals sit at positions 0 and 1 of its
+     literal slice;
+   - [watches.(l)] holds the watchers for literal [l] as a flat int
+     vector of (cref, blocker) pairs: when the blocker is true the
+     clause is satisfied and its literal slice is never touched
+     (cache-friendliness);
+   - the implied literal of a reason clause sits at position 0.
 
-type clause = {
-  mutable lits : int array;
-  mutable activity : float;
-  mutable lbd : int;
-      (* literal block distance: distinct decision levels in the clause
-         when it was learnt; glue clauses (lbd <= 2) are never deleted *)
-  learnt : bool;
-  mutable deleted : bool;
-}
+   Memory layout.  The clause database is a single growable int array —
+   the arena — and a "clause" is an integer offset (a cref) into it.
+   The slice at cref [c] is
 
-let dummy_clause = { lits = [||]; activity = 0.0; lbd = 0; learnt = false; deleted = true }
+     arena.(c)     header: size lsl 3 | relocated lsl 2 | deleted lsl 1 | learnt
+     arena.(c+1)   activity (integer-scaled), or the forwarding cref
+                   while the relocated bit is set mid-compaction
+     arena.(c+2)   literal block distance (glue)
+     arena.(c+3â€¦)  the literals, watched ones at positions 0 and 1
 
-type watcher = { wcl : clause; blocker : int }
+   Everything that references a clause does so by cref: watcher lists
+   are flat (cref, blocker) int pairs, [reason] is an int array
+   (-1 = decision/none), and the clause lists are int vectors.  No
+   boxed clause records exist, so the propagation inner loop chases no
+   pointers and allocates nothing, and "is this clause the recorded
+   reason" is integer equality — the physical-equality trap that once
+   let [reduce_db] delete locked clauses cannot be expressed.
 
-let dummy_watcher = { wcl = dummy_clause; blocker = -1 }
+   Deletion marks the header bit and counts the slice as wasted; when
+   enough of the arena is dead, [compact] copies the live slices into a
+   fresh arena, leaving a forwarding cref in each old slice, and remaps
+   watchers, reasons and the clause lists through it.  Proof [P_delete]
+   steps copy the literals out at deletion time, so relocation can
+   never orphan a logged step. *)
+
+let header_words = 3
 
 type strategy = {
   var_decay : float;
@@ -59,7 +72,7 @@ type t = {
   mutable nvars : int;
   mutable assign : int array;
   mutable level : int array;
-  mutable reason : clause option array;
+  mutable reason : int array;  (* cref, or -1 for decisions/units *)
   mutable phase : bool array;
   mutable seen : bool array;
   mutable frozen : bool array;
@@ -73,12 +86,17 @@ type t = {
   mutable activity : float array;
   mutable heap_pos : int array;
   heap : int Vec.t;
-  mutable watches : watcher Vec.t array;
+  mutable watches : int Vec.t array;  (* flat (cref, blocker) pairs *)
   trail : int Vec.t;
   trail_lim : int Vec.t;
   mutable qhead : int;
-  clauses : clause Vec.t;
-  learnts : clause Vec.t;
+  (* -- the clause arena -- *)
+  mutable arena : int array;
+  mutable asize : int;  (* words used, including dead slices *)
+  mutable awasted : int;  (* words in deleted or shrunk-away slices *)
+  mutable compactions : int;
+  clauses : int Vec.t;  (* crefs of problem clauses *)
+  learnts : int Vec.t;  (* crefs of learnt clauses *)
   mutable ok : bool;
   mutable var_inc : float;
   mutable cla_inc : float;
@@ -88,6 +106,10 @@ type t = {
   mutable propagations : int;
   mutable restarts : int;
   mutable learnts_made : int;
+  mutable minor_words : float;
+      (* minor-heap words allocated inside [solve] calls, cumulative
+         ([Gc.minor_words] deltas): the observable for the
+         allocation-free-propagation claim *)
   mutable core : int list;
       (* after an Unsat answer under assumptions: the subset of the
          assumption literals whose conjunction the clause database
@@ -114,6 +136,10 @@ type t = {
   mutable early_sats : int;  (* Sat answers concluded on a partial assignment *)
   mutable scan_backoff : int;  (* conflicts+decisions to wait after a failed scan *)
   mutable next_scan_work : int;
+  mutable scan_cursor : int;
+      (* index (into [clauses]) of the clause that failed the last
+         early-SAT scan: while it stays unsatisfied, re-checking just it
+         rejects the next scan in O(clause length) instead of O(db) *)
   (* -- proof logging -- *)
   mutable proof_on : bool;
   mutable proof_rev : proof_step list;  (* newest first *)
@@ -133,7 +159,7 @@ let create () =
     nvars = 0;
     assign = Array.make 16 0;
     level = Array.make 16 0;
-    reason = Array.make 16 None;
+    reason = Array.make 16 (-1);
     phase = Array.make 16 false;
     seen = Array.make 16 false;
     frozen = Array.make 16 false;
@@ -141,12 +167,16 @@ let create () =
     activity = Array.make 16 0.0;
     heap_pos = Array.make 16 (-1);
     heap = Vec.create ~dummy:(-1) ();
-    watches = Array.init 32 (fun _ -> Vec.create ~dummy:dummy_watcher ());
+    watches = Array.init 32 (fun _ -> Vec.create ~dummy:(-1) ());
     trail = Vec.create ~dummy:(-1) ();
     trail_lim = Vec.create ~dummy:(-1) ();
     qhead = 0;
-    clauses = Vec.create ~dummy:dummy_clause ();
-    learnts = Vec.create ~dummy:dummy_clause ();
+    arena = Array.make 1024 0;
+    asize = 0;
+    awasted = 0;
+    compactions = 0;
+    clauses = Vec.create ~dummy:(-1) ();
+    learnts = Vec.create ~dummy:(-1) ();
     ok = true;
     var_inc = 1.0;
     cla_inc = 1.0;
@@ -156,6 +186,7 @@ let create () =
     propagations = 0;
     restarts = 0;
     learnts_made = 0;
+    minor_words = 0.0;
     core = [];
     on_backtrack = (fun (_ : int) -> ());
     strategy = default_strategy;
@@ -173,6 +204,7 @@ let create () =
     early_sats = 0;
     scan_backoff = 16;
     next_scan_work = 0;
+    scan_cursor = -1;
     proof_on = false;
     proof_rev = [];
     proof_len = 0;
@@ -191,6 +223,7 @@ let log_step s step =
 
 let set_strategy s st = s.strategy <- st
 let set_stop s f = s.stop <- f
+let set_max_learnts s n = s.max_learnts <- float_of_int n
 let set_simplify s b = s.simplify_enabled <- b
 let set_pure_elim s b = s.pure_elim_enabled <- b
 let set_lbd s b = s.lbd_enabled <- b
@@ -206,7 +239,62 @@ let num_learnts s = s.learnts_made
 let num_preprocessed s = s.preprocessed
 let num_lbd_deletions s = s.lbd_deletions
 let num_early_sats s = s.early_sats
+let num_compactions s = s.compactions
+let arena_words s = s.asize
+let arena_wasted_words s = s.awasted
+let minor_words s = s.minor_words
 let unsat_core s = s.core
+
+(* -- clause accessors over the arena -------------------------------------- *)
+
+let c_size s c = s.arena.(c) lsr 3
+let c_learnt s c = s.arena.(c) land 1 = 1
+let c_deleted s c = s.arena.(c) land 2 <> 0
+let c_lit s c k = s.arena.(c + header_words + k)
+let c_lbd s c = s.arena.(c + 2)
+let c_set_lbd s c g = s.arena.(c + 2) <- g
+
+(* a fresh copy of the literal slice (proof logging, checker hand-off) *)
+let clause_lits s c = Array.init (c_size s c) (fun k -> s.arena.(c + header_words + k))
+
+let c_delete s c =
+  if not (c_deleted s c) then begin
+    s.awasted <- s.awasted + header_words + c_size s c;
+    s.arena.(c) <- s.arena.(c) lor 2
+  end
+
+let log_delete s c = if s.proof_on then log_step s (P_delete (clause_lits s c))
+
+(* shrink the slice in place to its first [n] literals (level-0
+   strengthening); the tail words become arena garbage until compaction *)
+let c_shrink s c n =
+  let old = c_size s c in
+  if n < old then begin
+    s.awasted <- s.awasted + (old - n);
+    s.arena.(c) <- (n lsl 3) lor (s.arena.(c) land 7)
+  end
+
+let arena_ensure s n =
+  if n > Array.length s.arena then begin
+    let cap = ref (Array.length s.arena) in
+    while !cap < n do
+      cap := 2 * !cap
+    done;
+    let fresh = Array.make !cap 0 in
+    Array.blit s.arena 0 fresh 0 s.asize;
+    s.arena <- fresh
+  end
+
+let alloc_clause s lits learnt =
+  let n = Array.length lits in
+  arena_ensure s (s.asize + header_words + n);
+  let c = s.asize in
+  s.arena.(c) <- (n lsl 3) lor (if learnt then 1 else 0);
+  s.arena.(c + 1) <- 0;
+  s.arena.(c + 2) <- 0;
+  Array.blit lits 0 s.arena (c + header_words) n;
+  s.asize <- s.asize + header_words + n;
+  c
 
 (* -- variable order (binary max-heap on activity) ------------------------ *)
 
@@ -215,10 +303,10 @@ let heap_less s a b = s.activity.(a) > s.activity.(b)
 let rec heap_up s i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    let vi = Vec.get s.heap i and vp = Vec.get s.heap parent in
+    let vi = Vec.unsafe_get s.heap i and vp = Vec.unsafe_get s.heap parent in
     if heap_less s vi vp then begin
-      Vec.set s.heap i vp;
-      Vec.set s.heap parent vi;
+      Vec.unsafe_set s.heap i vp;
+      Vec.unsafe_set s.heap parent vi;
       s.heap_pos.(vp) <- i;
       s.heap_pos.(vi) <- parent;
       heap_up s parent
@@ -229,12 +317,12 @@ let rec heap_down s i =
   let n = Vec.size s.heap in
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let best = ref i in
-  if l < n && heap_less s (Vec.get s.heap l) (Vec.get s.heap !best) then best := l;
-  if r < n && heap_less s (Vec.get s.heap r) (Vec.get s.heap !best) then best := r;
+  if l < n && heap_less s (Vec.unsafe_get s.heap l) (Vec.unsafe_get s.heap !best) then best := l;
+  if r < n && heap_less s (Vec.unsafe_get s.heap r) (Vec.unsafe_get s.heap !best) then best := r;
   if !best <> i then begin
-    let vi = Vec.get s.heap i and vb = Vec.get s.heap !best in
-    Vec.set s.heap i vb;
-    Vec.set s.heap !best vi;
+    let vi = Vec.unsafe_get s.heap i and vb = Vec.unsafe_get s.heap !best in
+    Vec.unsafe_set s.heap i vb;
+    Vec.unsafe_set s.heap !best vi;
     s.heap_pos.(vb) <- i;
     s.heap_pos.(vi) <- !best;
     heap_down s !best
@@ -274,7 +362,7 @@ let new_var s =
   s.nvars <- v + 1;
   s.assign <- grow_array s.assign s.nvars 0;
   s.level <- grow_array s.level s.nvars 0;
-  s.reason <- grow_array s.reason s.nvars None;
+  s.reason <- grow_array s.reason s.nvars (-1);
   s.phase <- grow_array s.phase s.nvars false;
   s.seen <- grow_array s.seen s.nvars false;
   s.frozen <- grow_array s.frozen s.nvars false;
@@ -284,10 +372,10 @@ let new_var s =
   let nlits = 2 * s.nvars in
   if Array.length s.watches < nlits then begin
     let old = Array.length s.watches in
-    let fresh = Array.make (max nlits (2 * old)) (Vec.create ~dummy:dummy_watcher ()) in
+    let fresh = Array.make (max nlits (2 * old)) (Vec.create ~dummy:(-1) ()) in
     Array.blit s.watches 0 fresh 0 old;
     for i = old to Array.length fresh - 1 do
-      fresh.(i) <- Vec.create ~dummy:dummy_watcher ()
+      fresh.(i) <- Vec.create ~dummy:(-1) ()
     done;
     s.watches <- fresh
   end;
@@ -306,9 +394,12 @@ let mark_important s v =
 
 (* -- assignment ----------------------------------------------------------- *)
 
+(* variables are allocated densely and literals validated on entry, so
+   the assignment read skips the bounds check: this is the single
+   hottest load in the solver *)
 let lit_value s l =
-  let v = s.assign.(lit_var l) in
-  if lit_sign l then v else -v
+  let v = Array.unsafe_get s.assign (l lsr 1) in
+  if l land 1 = 0 then v else -v
 
 let decision_level s = Vec.size s.trail_lim
 
@@ -328,7 +419,7 @@ let cancel_until s lvl =
       let v = lit_var l in
       s.phase.(v) <- lit_sign l;
       s.assign.(v) <- 0;
-      s.reason.(v) <- None;
+      s.reason.(v) <- -1;
       if s.important.(v) then s.important_assigned <- s.important_assigned - 1;
       heap_insert s v
     done;
@@ -352,11 +443,16 @@ let var_bump s v =
 
 let var_decay s = s.var_inc <- s.var_inc /. s.strategy.var_decay
 
-let cla_bump s (c : clause) =
-  c.activity <- c.activity +. s.cla_inc;
-  if c.activity > 1e20 then begin
-    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) s.learnts;
-    s.cla_inc <- s.cla_inc *. 1e-20
+(* Clause activities live in the arena as integers: bumps add the
+   truncated increment, and a rescale shifts every learnt activity down
+   rather than multiplying by 1e-20.  Only the relative order matters
+   (reduce_db sorts by it), so integer truncation is harmless. *)
+let cla_bump s c =
+  let a = s.arena.(c + 1) + int_of_float s.cla_inc in
+  s.arena.(c + 1) <- a;
+  if a > 1 lsl 50 then begin
+    Vec.iter (fun c -> s.arena.(c + 1) <- s.arena.(c + 1) asr 25) s.learnts;
+    s.cla_inc <- Float.max 1.0 (s.cla_inc /. 33554432.0)
   end
 
 let cla_decay s = s.cla_inc <- s.cla_inc /. 0.999
@@ -364,8 +460,13 @@ let cla_decay s = s.cla_inc <- s.cla_inc /. 0.999
 (* -- clauses -------------------------------------------------------------- *)
 
 let attach s c =
-  Vec.push s.watches.(c.lits.(0)) { wcl = c; blocker = c.lits.(1) };
-  Vec.push s.watches.(c.lits.(1)) { wcl = c; blocker = c.lits.(0) }
+  let l0 = c_lit s c 0 and l1 = c_lit s c 1 in
+  let w0 = s.watches.(l0) in
+  Vec.push w0 c;
+  Vec.push w0 l1;
+  let w1 = s.watches.(l1) in
+  Vec.push w1 c;
+  Vec.push w1 l0
 
 let add_clause s lits =
   (* A previous Sat answer leaves its model on the trail; new clauses are
@@ -395,11 +496,9 @@ let add_clause s lits =
       end;
       match lits' with
       | [] -> s.ok <- false
-      | [ l ] -> enqueue s l None
+      | [ l ] -> enqueue s l (-1)
       | _ :: _ :: _ ->
-        let c =
-          { lits = Array.of_list lits'; activity = 0.0; lbd = 0; learnt = false; deleted = false }
-        in
+        let c = alloc_clause s (Array.of_list lits') false in
         Vec.push s.clauses c;
         attach s c
     end
@@ -407,73 +506,167 @@ let add_clause s lits =
 
 (* -- propagation ---------------------------------------------------------- *)
 
+(* The inner loop reads the arena and the flat watcher pairs directly:
+   no closures, no options, no boxed records, no allocation (the only
+   heap effect is the amortized growth of a watcher vector).  Returns
+   the conflicting cref, or -1. *)
 let propagate s =
-  let confl = ref None in
-  while !confl = None && s.qhead < Vec.size s.trail do
-    let p = Vec.get s.trail s.qhead in
+  let confl = ref (-1) in
+  let trail = s.trail in
+  while !confl < 0 && s.qhead < Vec.size trail do
+    let p = Vec.unsafe_get trail s.qhead in
     s.qhead <- s.qhead + 1;
     s.propagations <- s.propagations + 1;
     let fl = lit_neg p in
-    let ws = s.watches.(fl) in
+    let ws = Array.unsafe_get s.watches fl in
     let n = Vec.size ws in
+    let arena = s.arena in
     let i = ref 0 and j = ref 0 in
     while !i < n do
-      let w = Vec.get ws !i in
-      incr i;
-      if lit_value s w.blocker = 1 then begin
+      let cr = Vec.unsafe_get ws !i in
+      let blocker = Vec.unsafe_get ws (!i + 1) in
+      i := !i + 2;
+      if lit_value s blocker = 1 then begin
         (* Blocking literal is true: the clause is satisfied without
-           touching its literal array. *)
-        Vec.set ws !j w;
-        incr j
+           touching its literal slice. *)
+        Vec.unsafe_set ws !j cr;
+        Vec.unsafe_set ws (!j + 1) blocker;
+        j := !j + 2
       end
       else begin
-        let c = w.wcl in
-        if not c.deleted then begin
-          let lits = c.lits in
-          if lits.(0) = fl then begin
-            lits.(0) <- lits.(1);
-            lits.(1) <- fl
+        let hd = Array.unsafe_get arena cr in
+        if hd land 2 = 0 then begin
+          (* not deleted *)
+          let l0 = Array.unsafe_get arena (cr + 3) in
+          if l0 = fl then begin
+            Array.unsafe_set arena (cr + 3) (Array.unsafe_get arena (cr + 4));
+            Array.unsafe_set arena (cr + 4) fl
           end;
-          let first = lits.(0) in
+          let first = Array.unsafe_get arena (cr + 3) in
           if lit_value s first = 1 then begin
             (* Clause satisfied by the other watch; keep it here and
                remember that watch as the blocker. *)
-            Vec.set ws !j { wcl = c; blocker = first };
-            incr j
+            Vec.unsafe_set ws !j cr;
+            Vec.unsafe_set ws (!j + 1) first;
+            j := !j + 2
           end
           else begin
-            let len = Array.length lits in
+            let len = hd lsr 3 in
             let k = ref 2 in
-            while !k < len && lit_value s lits.(!k) = -1 do
+            while !k < len && lit_value s (Array.unsafe_get arena (cr + 3 + !k)) = -1 do
               incr k
             done;
             if !k < len then begin
-              (* Move the watch to lits.(!k). *)
-              lits.(1) <- lits.(!k);
-              lits.(!k) <- fl;
-              Vec.push s.watches.(lits.(1)) { wcl = c; blocker = first }
+              (* Move the watch to literal position !k. *)
+              let lk = Array.unsafe_get arena (cr + 3 + !k) in
+              Array.unsafe_set arena (cr + 4) lk;
+              Array.unsafe_set arena (cr + 3 + !k) fl;
+              let wk = Array.unsafe_get s.watches lk in
+              Vec.push wk cr;
+              Vec.push wk first
             end
             else begin
-              Vec.set ws !j { wcl = c; blocker = first };
-              incr j;
+              Vec.unsafe_set ws !j cr;
+              Vec.unsafe_set ws (!j + 1) first;
+              j := !j + 2;
               if lit_value s first = -1 then begin
-                confl := Some c;
-                s.qhead <- Vec.size s.trail;
+                confl := cr;
+                s.qhead <- Vec.size trail;
                 while !i < n do
-                  Vec.set ws !j (Vec.get ws !i);
-                  incr j;
-                  incr i
+                  Vec.unsafe_set ws !j (Vec.unsafe_get ws !i);
+                  incr i;
+                  incr j
                 done
               end
-              else enqueue s first (Some c)
+              else enqueue s first cr
             end
           end
         end
+        (* deleted clause: drop the watcher pair *)
       end
     done;
     Vec.shrink ws !j
   done;
   !confl
+
+(* -- arena compaction ------------------------------------------------------ *)
+
+(* Copy every live clause into a fresh arena and rewrite all crefs
+   through forwarding pointers.  A relocated slice keeps its old header
+   with the relocated bit set and its new cref in the activity word, so
+   any reference order works; references to deleted clauses are dropped
+   (watchers) or must not exist (reasons, clause lists filter first).
+   Safe whenever no cref is held in a local across the call — callers
+   are the level-boundary points of [solve] and [simplify]. *)
+let compact s =
+  let live = s.asize - s.awasted in
+  let cap = ref 1024 in
+  while !cap < live do
+    cap := 2 * !cap
+  done;
+  let to_arena = Array.make !cap 0 in
+  let to_size = ref 0 in
+  let reloc c =
+    if s.arena.(c) land 4 <> 0 then s.arena.(c + 1)
+    else begin
+      let words = header_words + c_size s c in
+      let nc = !to_size in
+      Array.blit s.arena c to_arena nc words;
+      to_size := nc + words;
+      s.arena.(c) <- s.arena.(c) lor 4;
+      s.arena.(c + 1) <- nc;
+      nc
+    end
+  in
+  let reloc_clause_vec vec =
+    let j = ref 0 in
+    for i = 0 to Vec.size vec - 1 do
+      let c = Vec.get vec i in
+      if not (c_deleted s c) then begin
+        Vec.set vec !j (reloc c);
+        incr j
+      end
+    done;
+    Vec.shrink vec !j
+  in
+  (* watchers: drop pairs pointing at deleted clauses, forward the rest *)
+  for l = 0 to (2 * s.nvars) - 1 do
+    let ws = s.watches.(l) in
+    let j = ref 0 in
+    let i = ref 0 in
+    let n = Vec.size ws in
+    while !i < n do
+      let c = Vec.get ws !i in
+      let blocker = Vec.get ws (!i + 1) in
+      i := !i + 2;
+      if not (c_deleted s c) then begin
+        Vec.set ws !j (reloc c);
+        Vec.set ws (!j + 1) blocker;
+        j := !j + 2
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  (* reasons of assigned variables (a deleted reason cannot happen —
+     reduce_db skips locked clauses and simplify clears root reasons —
+     but a stale one must not survive relocation either way) *)
+  for i = 0 to Vec.size s.trail - 1 do
+    let v = lit_var (Vec.get s.trail i) in
+    let r = s.reason.(v) in
+    if r >= 0 then s.reason.(v) <- (if c_deleted s r then -1 else reloc r)
+  done;
+  reloc_clause_vec s.clauses;
+  reloc_clause_vec s.learnts;
+  s.arena <- to_arena;
+  s.asize <- !to_size;
+  s.awasted <- 0;
+  s.compactions <- s.compactions + 1;
+  s.scan_cursor <- -1
+
+(* Compact when at least a quarter of a non-trivial arena is dead:
+   amortizes the copy against the propagation locality it buys back. *)
+let maybe_compact s =
+  if s.awasted > 4096 && s.awasted * 4 > s.asize then compact s
 
 (* -- level-0 preprocessing ------------------------------------------------- *)
 
@@ -491,20 +684,38 @@ let propagate s =
    afterwards, so no search state can dangle.  The pass is skipped when
    the database and root trail are unchanged since the last run. *)
 
+let clause_satisfied_root s c =
+  let n = c_size s c in
+  let sat = ref false in
+  for k = 0 to n - 1 do
+    if lit_value s (c_lit s c k) = 1 then sat := true
+  done;
+  !sat
+
+let clause_has_false_root s c =
+  let n = c_size s c in
+  let f = ref false in
+  for k = 0 to n - 1 do
+    if lit_value s (c_lit s c k) = -1 then f := true
+  done;
+  !f
+
 let clean_clause_vec s vec =
   let changed = ref false in
   Vec.iter
-    (fun (c : clause) ->
-      if not c.deleted then begin
-        let lits = c.lits in
-        if Array.exists (fun l -> lit_value s l = 1) lits then begin
-          c.deleted <- true;
-          log_step s (P_delete (Array.copy lits));
+    (fun c ->
+      if not (c_deleted s c) then begin
+        if clause_satisfied_root s c then begin
+          log_delete s c;
+          c_delete s c;
           s.preprocessed <- s.preprocessed + 1;
           changed := true
         end
-        else if Array.exists (fun l -> lit_value s l = -1) lits then begin
-          let live = Array.of_list (List.filter (fun l -> lit_value s l <> -1) (Array.to_list lits)) in
+        else if clause_has_false_root s c then begin
+          let live =
+            Array.of_list
+              (List.filter (fun l -> lit_value s l <> -1) (Array.to_list (clause_lits s c)))
+          in
           s.preprocessed <- s.preprocessed + 1;
           changed := true;
           match Array.length live with
@@ -513,76 +724,115 @@ let clean_clause_vec s vec =
             log_step s (P_rup [||])
           | 1 ->
             log_step s (P_rup (Array.copy live));
-            log_step s (P_delete (Array.copy lits));
-            enqueue s live.(0) None;
-            c.deleted <- true
-          | _ ->
+            log_delete s c;
+            enqueue s live.(0) (-1);
+            c_delete s c
+          | n ->
             log_step s (P_rup (Array.copy live));
-            log_step s (P_delete (Array.copy lits));
-            c.lits <- live
+            log_delete s c;
+            Array.blit live 0 s.arena (c + header_words) n;
+            c_shrink s c n
         end
       end)
     vec;
   !changed
 
-let clause_sig (c : clause) =
-  Array.fold_left (fun acc l -> acc lor (1 lsl (l mod 62))) 0 c.lits
+(* in-place insertion sort of a clause's literal slice (clauses are
+   small; the subsumption pass needs them sorted and the watches are
+   rebuilt afterwards, so reordering is safe at level 0) *)
+let sort_clause_lits s c =
+  let base = c + header_words in
+  let n = c_size s c in
+  for k = 1 to n - 1 do
+    let x = s.arena.(base + k) in
+    let j = ref (k - 1) in
+    while !j >= 0 && s.arena.(base + !j) > x do
+      s.arena.(base + !j + 1) <- s.arena.(base + !j);
+      decr j
+    done;
+    s.arena.(base + !j + 1) <- x
+  done
 
-(* [a] and [b] sorted ascending: is every literal of [a] in [b]? *)
-let subset_sorted (a : int array) (b : int array) =
-  let na = Array.length a and nb = Array.length b in
+let clause_sig s c =
+  let acc = ref 0 in
+  for k = 0 to c_size s c - 1 do
+    acc := !acc lor (1 lsl (c_lit s c k mod 62))
+  done;
+  !acc
+
+(* both clause slices sorted ascending: is every literal of [c] in [d]? *)
+let subset_sorted s c d =
+  let na = c_size s c and nb = c_size s d in
   let i = ref 0 and j = ref 0 in
   while !i < na && !j < nb do
-    if a.(!i) = b.(!j) then begin
+    let a = c_lit s c !i and b = c_lit s d !j in
+    if a = b then begin
       incr i;
       incr j
     end
-    else if a.(!i) > b.(!j) then incr j
+    else if a > b then incr j
     else i := na + 1
   done;
   !i = na
 
-(* does C = [c_lits] strengthen D = [d_lits] by resolving on [l], i.e.
-   (C \ {l}) ∪ {¬l} ⊆ D?  Both inputs sorted; clauses are small, so a
-   sorted copy per candidate is cheap. *)
-let strengthens (c_lits : int array) l (d_lits : int array) =
-  let a = Array.map (fun x -> if x = l then lit_neg l else x) c_lits in
+(* does C strengthen D by resolving on [l], i.e. (C \ {l}) ∪ {¬l} ⊆ D?
+   Clauses are small, so a sorted scratch copy per candidate is cheap. *)
+let strengthens s c l d =
+  let a = Array.map (fun x -> if x = l then lit_neg l else x) (clause_lits s c) in
   Array.sort compare a;
-  subset_sorted a d_lits
+  let na = Array.length a and nb = c_size s d in
+  let i = ref 0 and j = ref 0 in
+  while !i < na && !j < nb do
+    let b = c_lit s d !j in
+    if a.(!i) = b then begin
+      incr i;
+      incr j
+    end
+    else if a.(!i) > b then incr j
+    else i := na + 1
+  done;
+  !i = na
 
 let subsume_pass s =
   let changed = ref false in
-  (* Live problem clauses, literal arrays sorted (watches are rebuilt
+  (* Live problem clauses, literal slices sorted (watches are rebuilt
      after the pass, and no clause is a reason at level 0). *)
   let live = ref [] in
-  Vec.iter (fun (c : clause) -> if not c.deleted then live := c :: !live) s.clauses;
+  Vec.iter (fun c -> if not (c_deleted s c) then live := c :: !live) s.clauses;
   let cs = Array.of_list !live in
-  Array.iter (fun (c : clause) -> Array.sort compare c.lits) cs;
-  let sigs = Array.map clause_sig cs in
+  Array.iter (fun c -> sort_clause_lits s c) cs;
+  let sigs = Array.map (fun c -> clause_sig s c) cs in
   let occ = Array.make (2 * s.nvars) [] in
   Array.iteri
-    (fun i (c : clause) -> Array.iter (fun l -> occ.(l) <- i :: occ.(l)) c.lits)
+    (fun i c ->
+      for k = 0 to c_size s c - 1 do
+        let l = c_lit s c k in
+        occ.(l) <- i :: occ.(l)
+      done)
     cs;
   let order = Array.init (Array.length cs) (fun i -> i) in
-  Array.sort (fun a b -> compare (Array.length cs.(a).lits) (Array.length cs.(b).lits)) order;
+  Array.sort (fun a b -> compare (c_size s cs.(a)) (c_size s cs.(b))) order;
   (* forward subsumption: short clauses kill the longer ones they imply *)
   Array.iter
     (fun i ->
       let c = cs.(i) in
-      if not c.deleted then begin
-        let best = ref c.lits.(0) in
-        Array.iter (fun l -> if List.length occ.(l) < List.length occ.(!best) then best := l) c.lits;
+      if not (c_deleted s c) then begin
+        let best = ref (c_lit s c 0) in
+        for k = 1 to c_size s c - 1 do
+          let l = c_lit s c k in
+          if List.length occ.(l) < List.length occ.(!best) then best := l
+        done;
         if List.length occ.(!best) <= 1000 then
           List.iter
             (fun j ->
               let d = cs.(j) in
-              if j <> i && (not d.deleted)
-                 && Array.length d.lits >= Array.length c.lits
+              if j <> i && (not (c_deleted s d))
+                 && c_size s d >= c_size s c
                  && sigs.(i) land lnot sigs.(j) = 0
-                 && subset_sorted c.lits d.lits
+                 && subset_sorted s c d
               then begin
-                d.deleted <- true;
-                log_step s (P_delete (Array.copy d.lits));
+                log_delete s d;
+                c_delete s d;
                 s.preprocessed <- s.preprocessed + 1;
                 changed := true
               end)
@@ -592,49 +842,56 @@ let subsume_pass s =
   (* self-subsuming resolution: C with l and D with ¬l, C \ {l} ⊆ D \ {¬l}:
      the resolvent C\{l} ∨ D\{¬l} = D \ {¬l} replaces D *)
   Array.iteri
-    (fun i (c : clause) ->
-      if (not c.deleted) && Array.length c.lits <= 20 then
-        Array.iter
-          (fun l ->
-            let nl = lit_neg l in
-            if nl < Array.length occ && List.length occ.(nl) <= 1000 then
-              List.iter
-                (fun j ->
-                  let d = cs.(j) in
-                  if j <> i && (not d.deleted)
-                     && Array.length d.lits >= Array.length c.lits
-                     && sigs.(i) land lnot (sigs.(j) lor (1 lsl (l mod 62))) = 0
-                     && strengthens c.lits l d.lits
-                  then begin
-                    let live = Array.of_list (List.filter (fun x -> x <> nl) (Array.to_list d.lits)) in
-                    log_step s (P_rup (Array.copy live));
-                    log_step s (P_delete (Array.copy d.lits));
-                    s.preprocessed <- s.preprocessed + 1;
-                    changed := true;
-                    sigs.(j) <- Array.fold_left (fun acc x -> acc lor (1 lsl (x mod 62))) 0 live;
-                    if Array.length live = 1 then begin
-                      (if lit_value s live.(0) = 0 then enqueue s live.(0) None
-                       else if lit_value s live.(0) = -1 then begin
-                         s.ok <- false;
-                         log_step s (P_rup [||])
-                       end);
-                      d.deleted <- true
-                    end
-                    else d.lits <- live
-                  end)
-                occ.(nl))
-          c.lits)
+    (fun i c ->
+      if (not (c_deleted s c)) && c_size s c <= 20 then
+        for ki = 0 to c_size s c - 1 do
+          let l = c_lit s c ki in
+          let nl = lit_neg l in
+          if nl < Array.length occ && List.length occ.(nl) <= 1000 then
+            List.iter
+              (fun j ->
+                let d = cs.(j) in
+                if j <> i && (not (c_deleted s d))
+                   && c_size s d >= c_size s c
+                   && sigs.(i) land lnot (sigs.(j) lor (1 lsl (l mod 62))) = 0
+                   && strengthens s c l d
+                then begin
+                  let live =
+                    Array.of_list
+                      (List.filter (fun x -> x <> nl) (Array.to_list (clause_lits s d)))
+                  in
+                  log_step s (P_rup (Array.copy live));
+                  log_delete s d;
+                  s.preprocessed <- s.preprocessed + 1;
+                  changed := true;
+                  sigs.(j) <- Array.fold_left (fun acc x -> acc lor (1 lsl (x mod 62))) 0 live;
+                  if Array.length live = 1 then begin
+                    (if lit_value s live.(0) = 0 then enqueue s live.(0) (-1)
+                     else if lit_value s live.(0) = -1 then begin
+                       s.ok <- false;
+                       log_step s (P_rup [||])
+                     end);
+                    c_delete s d
+                  end
+                  else begin
+                    Array.blit live 0 s.arena (d + header_words) (Array.length live);
+                    c_shrink s d (Array.length live)
+                  end
+                end)
+              occ.(nl)
+        done)
     cs;
   !changed
 
 let pure_literal_pass s =
   let pos = Array.make s.nvars false and neg = Array.make s.nvars false in
   Vec.iter
-    (fun (c : clause) ->
-      if not c.deleted then
-        Array.iter
-          (fun l -> if lit_sign l then pos.(lit_var l) <- true else neg.(lit_var l) <- true)
-          c.lits)
+    (fun c ->
+      if not (c_deleted s c) then
+        for k = 0 to c_size s c - 1 do
+          let l = c_lit s c k in
+          if lit_sign l then pos.(lit_var l) <- true else neg.(lit_var l) <- true
+        done)
     s.clauses;
   let changed = ref false in
   for v = 0 to s.nvars - 1 do
@@ -645,18 +902,22 @@ let pure_literal_pass s =
          keeps the model exact. *)
       let l = if pos.(v) then pos_lit v else neg_lit v in
       log_step s (P_pure l);
-      enqueue s l None;
+      enqueue s l (-1);
       changed := true
     end
   done;
   !changed
 
-let compact_clause_vec vec =
-  let kept = ref [] in
-  Vec.iter (fun (c : clause) -> if not c.deleted then kept := c :: !kept) vec;
-  let kept = List.rev !kept in
-  Vec.clear vec;
-  List.iter (fun c -> Vec.push vec c) kept
+let compact_clause_vec s vec =
+  let j = ref 0 in
+  for i = 0 to Vec.size vec - 1 do
+    let c = Vec.get vec i in
+    if not (c_deleted s c) then begin
+      Vec.set vec !j c;
+      incr j
+    end
+  done;
+  Vec.shrink vec !j
 
 let rebuild_watches s =
   for l = 0 to (2 * s.nvars) - 1 do
@@ -667,11 +928,10 @@ let rebuild_watches s =
 
 let simplify s =
   if s.ok && decision_level s = 0 then begin
-    (match propagate s with
-     | Some _ ->
+    (if propagate s >= 0 then begin
        s.ok <- false;
        log_step s (P_rup [||])
-     | None -> ());
+     end);
     if s.ok
        && (Vec.size s.clauses + Vec.size s.learnts <> s.simp_clauses
           || Vec.size s.trail <> s.simp_trail)
@@ -679,7 +939,7 @@ let simplify s =
       (* Facts need no justification; clearing root reasons frees every
          clause for restructuring. *)
       for i = 0 to Vec.size s.trail - 1 do
-        s.reason.(lit_var (Vec.get s.trail i)) <- None
+        s.reason.(lit_var (Vec.get s.trail i)) <- -1
       done;
       let rounds = ref 0 in
       let changed = ref true in
@@ -693,20 +953,21 @@ let simplify s =
         if s.ok && s.qhead < Vec.size s.trail then begin
           (* Units found above have not propagated through the (stale)
              watches; rebuild them first, then run to fixpoint. *)
-          compact_clause_vec s.clauses;
-          compact_clause_vec s.learnts;
+          compact_clause_vec s s.clauses;
+          compact_clause_vec s s.learnts;
           rebuild_watches s;
-          (match propagate s with
-           | Some _ ->
+          (if propagate s >= 0 then begin
              s.ok <- false;
              log_step s (P_rup [||])
-           | None -> ());
+           end);
           changed := true
         end
       done;
-      compact_clause_vec s.clauses;
-      compact_clause_vec s.learnts;
+      compact_clause_vec s s.clauses;
+      compact_clause_vec s s.learnts;
+      maybe_compact s;
       rebuild_watches s;
+      s.scan_cursor <- -1;
       s.simp_clauses <- Vec.size s.clauses + Vec.size s.learnts;
       s.simp_trail <- Vec.size s.trail
     end
@@ -715,22 +976,23 @@ let simplify s =
 (* -- conflict analysis (first UIP) ----------------------------------------- *)
 
 let reason_exn s v =
-  match s.reason.(v) with
-  | Some c -> c
-  | None -> assert false
+  let r = s.reason.(v) in
+  assert (r >= 0);
+  r
 
 (* [q] is redundant in the learnt clause if its reason's antecedents are all
    already in the clause (seen) or fixed at level 0: local minimization. *)
 let lit_redundant s q =
-  match s.reason.(lit_var q) with
-  | None -> false
-  | Some r ->
+  let r = s.reason.(lit_var q) in
+  if r < 0 then false
+  else begin
     let ok = ref true in
-    for k = 1 to Array.length r.lits - 1 do
-      let v = lit_var r.lits.(k) in
+    for k = 1 to c_size s r - 1 do
+      let v = lit_var (c_lit s r k) in
       if not s.seen.(v) && s.level.(v) > 0 then ok := false
     done;
     !ok
+  end
 
 (* Recursive (MiniSat-exact) minimization: [q] is redundant if every
    path from its reason bottoms out in clause literals or level-0 facts.
@@ -745,14 +1007,14 @@ exception Keep
 let lit_redundant_rec s abstract_levels extra q0 =
   let marked = ref [] in
   let rec go q =
-    match s.reason.(lit_var q) with
-    | None -> raise Keep
-    | Some r ->
-      for k = 1 to Array.length r.lits - 1 do
-        let l = r.lits.(k) in
+    let r = s.reason.(lit_var q) in
+    if r < 0 then raise Keep
+    else
+      for k = 1 to c_size s r - 1 do
+        let l = c_lit s r k in
         let v = lit_var l in
         if (not s.seen.(v)) && s.level.(v) > 0 then begin
-          if s.reason.(v) <> None && abstract_level s v land abstract_levels <> 0 then begin
+          if s.reason.(v) >= 0 && abstract_level s v land abstract_levels <> 0 then begin
             s.seen.(v) <- true;
             marked := v :: !marked;
             go l
@@ -781,21 +1043,20 @@ let analyze s confl =
   let dl = decision_level s in
   let expanding = ref true in
   while !expanding do
-    if !c.learnt then begin
+    if c_learnt s !c then begin
       cla_bump s !c;
       (* Dynamic LBD re-scoring (Glucose): a learnt clause participating
          in a new conflict gets its glue recomputed against the current
          levels — clauses that keep proving useful migrate towards the
          protected end of [reduce_db]. *)
-      if s.lbd_enabled && !c.lbd > 2 then begin
-        let l = compute_lbd s (Array.to_list !c.lits) in
-        if l < !c.lbd then !c.lbd <- l
+      if s.lbd_enabled && c_lbd s !c > 2 then begin
+        let l = compute_lbd s (Array.to_list (clause_lits s !c)) in
+        if l < c_lbd s !c then c_set_lbd s !c l
       end
     end;
-    let lits = !c.lits in
     let start = if !p = -1 then 0 else 1 in
-    for k = start to Array.length lits - 1 do
-      let q = lits.(k) in
+    for k = start to c_size s !c - 1 do
+      let q = c_lit s !c k in
       let v = lit_var q in
       if (not s.seen.(v)) && s.level.(v) > 0 then begin
         s.seen.(v) <- true;
@@ -838,14 +1099,12 @@ let analyze s confl =
 
 (* -- learnt clause database reduction -------------------------------------- *)
 
-(* Physical equality must be on the clause itself: [reason == Some c]
-   compares against a freshly allocated option block and is never true,
-   which would let [reduce_db] delete a clause that is the recorded
-   reason of a trail literal — conflict-clause minimization then cites
-   a deleted clause and the logged proof loses an antecedent. *)
-let locked s (c : clause) =
-  Array.length c.lits > 0
-  && match s.reason.(lit_var c.lits.(0)) with Some r -> r == c | None -> false
+(* A clause is locked while it is the recorded reason of a trail
+   literal: reasons are crefs, so the check is integer equality — the
+   fresh-[Some]-box physical-equality trap that once deleted locked
+   clauses (conflict minimization then cited deleted antecedents and
+   the logged proof lost a step) is unrepresentable here. *)
+let locked s c = c_size s c > 0 && s.reason.(lit_var (c_lit s c 0)) = c
 
 let reduce_db s =
   if s.lbd_enabled then begin
@@ -853,40 +1112,44 @@ let reduce_db s =
        activity), never touching locked, binary or glue (lbd <= 2)
        clauses — they encode the tight dependencies of the search. *)
     Vec.sort_in_place
-      (fun (a : clause) (b : clause) ->
-        if a.lbd <> b.lbd then compare b.lbd a.lbd else compare a.activity b.activity)
+      (fun a b ->
+        if c_lbd s a <> c_lbd s b then compare (c_lbd s b) (c_lbd s a)
+        else compare s.arena.(a + 1) s.arena.(b + 1))
       s.learnts;
     let n = Vec.size s.learnts in
-    let kept = Vec.create ~dummy:dummy_clause () in
+    let j = ref 0 in
     for i = 0 to n - 1 do
       let c = Vec.get s.learnts i in
-      if i < n / 2 && (not (locked s c)) && Array.length c.lits > 2 && c.lbd > 2 then begin
-        c.deleted <- true;
-        log_step s (P_delete (Array.copy c.lits));
+      if i < n / 2 && (not (locked s c)) && c_size s c > 2 && c_lbd s c > 2 then begin
+        log_delete s c;
+        c_delete s c;
         s.lbd_deletions <- s.lbd_deletions + 1
       end
-      else Vec.push kept c
+      else begin
+        Vec.set s.learnts !j c;
+        incr j
+      end
     done;
-    Vec.clear s.learnts;
-    Vec.iter (fun c -> Vec.push s.learnts c) kept
+    Vec.shrink s.learnts !j
   end
   else begin
-    Vec.sort_in_place
-      (fun (a : clause) (b : clause) -> compare a.activity b.activity)
-      s.learnts;
+    Vec.sort_in_place (fun a b -> compare s.arena.(a + 1) s.arena.(b + 1)) s.learnts;
     let n = Vec.size s.learnts in
-    let kept = Vec.create ~dummy:dummy_clause () in
+    let j = ref 0 in
     for i = 0 to n - 1 do
       let c = Vec.get s.learnts i in
-      if i < n / 2 && (not (locked s c)) && Array.length c.lits > 2 then begin
-        c.deleted <- true;
-        log_step s (P_delete (Array.copy c.lits))
+      if i < n / 2 && (not (locked s c)) && c_size s c > 2 then begin
+        log_delete s c;
+        c_delete s c
       end
-      else Vec.push kept c
+      else begin
+        Vec.set s.learnts !j c;
+        incr j
+      end
     done;
-    Vec.clear s.learnts;
-    Vec.iter (fun c -> Vec.push s.learnts c) kept
-  end
+    Vec.shrink s.learnts !j
+  end;
+  maybe_compact s
 
 (* Integrate a theory-learned clause at the current state without
    restarting from scratch: attach it with valid watches and backjump
@@ -912,12 +1175,9 @@ let integrate_clause s lits =
      | -1 ->
        s.ok <- false;
        log_step s (P_rup [||])
-     | _ -> enqueue s l None)
+     | _ -> enqueue s l (-1))
   | _ :: _ :: _ ->
     let arr = Array.of_list lits' in
-    let c =
-      { lits = arr; activity = 0.0; lbd = Array.length arr; learnt = true; deleted = false }
-    in
     s.learnts_made <- s.learnts_made + 1;
     (* watch preference: true > unassigned > false by decreasing level *)
     let rank l =
@@ -926,20 +1186,25 @@ let integrate_clause s lits =
       | 0 -> max_int - 1
       | _ -> s.level.(lit_var l)
     in
+    let alloc_attached () =
+      let c = alloc_clause s arr true in
+      c_set_lbd s c (Array.length arr);
+      Vec.push s.learnts c;
+      attach s c;
+      c
+    in
     let finished = ref false in
     while not !finished do
       Array.sort (fun a b -> compare (rank b) (rank a)) arr;
       match (lit_value s arr.(0), lit_value s arr.(1)) with
       | 1, _ | 0, (1 | 0) ->
         (* satisfied, or two non-false watches: just attach *)
-        Vec.push s.learnts c;
-        attach s c;
+        ignore (alloc_attached ());
         finished := true
       | 0, -1 ->
         (* asserting: propagate the single non-false literal *)
-        Vec.push s.learnts c;
-        attach s c;
-        enqueue s arr.(0) (Some c);
+        let c = alloc_attached () in
+        enqueue s arr.(0) c;
         finished := true
       | -1, _ ->
         (* conflicting (all false): backjump below the highest level *)
@@ -976,11 +1241,11 @@ let analyze_final s p =
       let l = Vec.get s.trail i in
       let v = lit_var l in
       if s.seen.(v) then begin
-        (match s.reason.(v) with
-         | None -> core := l :: !core
-         | Some c ->
-           for k = 1 to Array.length c.lits - 1 do
-             let u = lit_var c.lits.(k) in
+        let r = s.reason.(v) in
+        (if r < 0 then core := l :: !core
+         else
+           for k = 1 to c_size s r - 1 do
+             let u = lit_var (c_lit s r k) in
              if s.level.(u) > 0 then s.seen.(u) <- true
            done);
         s.seen.(v) <- false
@@ -1015,28 +1280,47 @@ let luby i =
    model of the clause database, and — because learnt clauses are
    consequences of the problem clauses plus the theory axioms — of the
    learnt clauses too, once [final_check] confirms theory consistency.
-   The scan is linear in the database, so a failed attempt doubles an
-   exponential backoff before the next one. *)
+
+   The scan walks the flat arena, so it is a linear streaming read; on
+   failure it remembers the offending clause ([scan_cursor]), and while
+   that clause stays unsatisfied the next attempts reject in O(clause
+   length) without touching the rest of the database.  Full scans that
+   fail still double an exponential backoff, bounding their cost. *)
+let clause_satisfied s c =
+  let arena = s.arena in
+  let hd = Array.unsafe_get arena c in
+  if hd land 2 <> 0 then true
+  else begin
+    let len = hd lsr 3 in
+    let sat = ref false in
+    let k = ref 0 in
+    while (not !sat) && !k < len do
+      if lit_value s (Array.unsafe_get arena (c + 3 + !k)) = 1 then sat := true;
+      incr k
+    done;
+    !sat
+  end
+
 let all_problem_clauses_satisfied s =
   let ok = ref true in
   let n = Vec.size s.clauses in
   let i = ref 0 in
   while !ok && !i < n do
-    let c = Vec.get s.clauses !i in
-    if not c.deleted then begin
-      let lits = c.lits in
-      let len = Array.length lits in
-      let sat_cl = ref false in
-      let k = ref 0 in
-      while (not !sat_cl) && !k < len do
-        if lit_value s lits.(!k) = 1 then sat_cl := true;
-        incr k
-      done;
-      if not !sat_cl then ok := false
+    if not (clause_satisfied s (Vec.unsafe_get s.clauses !i)) then begin
+      ok := false;
+      s.scan_cursor <- !i
     end;
     incr i
   done;
+  if !ok then s.scan_cursor <- -1;
   !ok
+
+(* O(clause length) pre-filter: the clause that failed the previous
+   scan.  While it is still unsatisfied a full scan cannot succeed. *)
+let scan_prefilter s =
+  s.scan_cursor < 0
+  || s.scan_cursor >= Vec.size s.clauses
+  || clause_satisfied s (Vec.unsafe_get s.clauses s.scan_cursor)
 
 (* -- main solve loop -------------------------------------------------------- *)
 
@@ -1053,7 +1337,7 @@ let decide s =
   else begin
     s.decisions <- s.decisions + 1;
     Vec.push s.trail_lim (Vec.size s.trail);
-    enqueue s (if s.phase.(v) then pos_lit v else neg_lit v) None;
+    enqueue s (if s.phase.(v) then pos_lit v else neg_lit v) (-1);
     true
   end
 
@@ -1067,7 +1351,7 @@ let poll_stop s =
     raise Canceled
   | _ -> ()
 
-let solve ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
+let solve_body ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
     ?(partial_check = fun (_ : t) -> []) ?(partial_interval = 64)
     ?(on_backtrack = fun (_ : int) -> ()) s =
   s.on_backtrack <- on_backtrack;
@@ -1078,6 +1362,7 @@ let solve ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
   if s.simplify_enabled then simplify s;
   s.scan_backoff <- 16;
   s.next_scan_work <- 0;
+  s.scan_cursor <- -1;
   let assumps = Array.of_list assumptions in
   let n_assumps = Array.length assumps in
   (* Establish the next pending assumption as a decision.  Assumption
@@ -1097,7 +1382,7 @@ let solve ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
       | _ ->
         s.decisions <- s.decisions + 1;
         Vec.push s.trail_lim (Vec.size s.trail);
-        enqueue s p None;
+        enqueue s p (-1);
         `Propagate
     end
   in
@@ -1109,8 +1394,8 @@ let solve ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
   let steps = ref 0 in
   if not s.ok then answer := Some Unsat;
   while !answer = None do
-    match propagate s with
-    | Some confl ->
+    let confl = propagate s in
+    if confl >= 0 then begin
       s.conflicts <- s.conflicts + 1;
       incr conflicts_since_restart;
       incr steps;
@@ -1126,87 +1411,82 @@ let solve ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
         cancel_until s blevel;
         (match learnt with
          | [] -> assert false
-         | [ l ] -> enqueue s l None
+         | [ l ] -> enqueue s l (-1)
          | l :: _ ->
-           let c =
-             {
-               lits = Array.of_list learnt;
-               activity = 0.0;
-               lbd = compute_lbd s learnt;
-               learnt = true;
-               deleted = false;
-             }
-           in
+           let c = alloc_clause s (Array.of_list learnt) true in
+           c_set_lbd s c (compute_lbd s learnt);
            cla_bump s c;
            s.learnts_made <- s.learnts_made + 1;
            Vec.push s.learnts c;
            attach s c;
-           enqueue s l (Some c));
+           enqueue s l c);
         var_decay s;
         cla_decay s
       end
-    | None when !since_partial >= partial_interval ->
+    end
+    else if !since_partial >= partial_interval then begin
       (* Periodic partial theory check on the propagation-complete
          prefix: catches theory-inconsistent assignments long before
          they are total. *)
       since_partial := 0;
-      (match partial_check s with
-       | [] -> ()
-       | conflict_clauses ->
-         List.iter (fun c -> integrate_clause s c) conflict_clauses;
-         if not s.ok then answer := Some Unsat)
-    | None ->
-      if !conflicts_since_restart >= !restart_limit then begin
-        incr restart_num;
-        s.restarts <- s.restarts + 1;
-        conflicts_since_restart := 0;
-        restart_limit := s.strategy.restart_base * luby !restart_num;
-        cancel_until s 0
-      end
-      else begin
-        match pick_assumption () with
-        | `Failed p ->
-          s.core <- analyze_final s p;
-          (* the negated core is implied by the database alone: record
-             it so the trace refutes the assumptions by propagation *)
-          log_step s (P_rup (Array.of_list (List.map lit_neg s.core)));
-          answer := Some Unsat
-        | `Propagate -> ()
-        | `Search ->
-          let total = Vec.size s.trail = s.nvars in
-          let early =
-            (not total) && s.early_sat_enabled
-            && s.important_assigned = s.n_important
-            && s.decisions + s.conflicts >= s.next_scan_work
-            &&
-            if all_problem_clauses_satisfied s then true
-            else begin
-              s.next_scan_work <- s.decisions + s.conflicts + s.scan_backoff;
-              s.scan_backoff <- min 4096 (2 * s.scan_backoff);
-              false
-            end
-          in
-          if total || early then begin
-            match final_check s with
-            | [] ->
-              if early then s.early_sats <- s.early_sats + 1;
-              answer := Some Sat
-            | conflict_clauses ->
-              List.iter (fun c -> integrate_clause s c) conflict_clauses;
-              if not s.ok then answer := Some Unsat
-          end
+      match partial_check s with
+      | [] -> ()
+      | conflict_clauses ->
+        List.iter (fun c -> integrate_clause s c) conflict_clauses;
+        if not s.ok then answer := Some Unsat
+    end
+    else if !conflicts_since_restart >= !restart_limit then begin
+      incr restart_num;
+      s.restarts <- s.restarts + 1;
+      conflicts_since_restart := 0;
+      restart_limit := s.strategy.restart_base * luby !restart_num;
+      cancel_until s 0
+    end
+    else begin
+      match pick_assumption () with
+      | `Failed p ->
+        s.core <- analyze_final s p;
+        (* the negated core is implied by the database alone: record
+           it so the trace refutes the assumptions by propagation *)
+        log_step s (P_rup (Array.of_list (List.map lit_neg s.core)));
+        answer := Some Unsat
+      | `Propagate -> ()
+      | `Search ->
+        let total = Vec.size s.trail = s.nvars in
+        let early =
+          (not total) && s.early_sat_enabled
+          && s.important_assigned = s.n_important
+          && scan_prefilter s
+          && s.decisions + s.conflicts >= s.next_scan_work
+          &&
+          if all_problem_clauses_satisfied s then true
           else begin
-            if float_of_int (Vec.size s.learnts) > s.max_learnts then begin
-              reduce_db s;
-              s.max_learnts <- s.max_learnts *. 1.3
-            end;
-            let made = decide s in
-            assert made;
-            incr since_partial;
-            incr steps;
-            if !steps land 255 = 0 then poll_stop s
+            s.next_scan_work <- s.decisions + s.conflicts + s.scan_backoff;
+            s.scan_backoff <- min 1024 (2 * s.scan_backoff);
+            false
           end
-      end
+        in
+        if total || early then begin
+          match final_check s with
+          | [] ->
+            if early then s.early_sats <- s.early_sats + 1;
+            answer := Some Sat
+          | conflict_clauses ->
+            List.iter (fun c -> integrate_clause s c) conflict_clauses;
+            if not s.ok then answer := Some Unsat
+        end
+        else begin
+          if float_of_int (Vec.size s.learnts) > s.max_learnts then begin
+            reduce_db s;
+            s.max_learnts <- s.max_learnts *. 1.3
+          end;
+          let made = decide s in
+          assert made;
+          incr since_partial;
+          incr steps;
+          if !steps land 255 = 0 then poll_stop s
+        end
+    end
   done;
   (match !answer with
    | Some Sat -> ()
@@ -1214,6 +1494,12 @@ let solve ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
   match !answer with
   | Some r -> r
   | None -> assert false
+
+let solve ?assumptions ?final_check ?partial_check ?partial_interval ?on_backtrack s =
+  let m0 = Gc.minor_words () in
+  Fun.protect
+    ~finally:(fun () -> s.minor_words <- s.minor_words +. (Gc.minor_words () -. m0))
+    (fun () -> solve_body ?assumptions ?final_check ?partial_check ?partial_interval ?on_backtrack s)
 
 let value_var s v = s.assign.(v) = 1
 let value_lit s l = lit_value s l = 1

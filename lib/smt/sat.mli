@@ -127,6 +127,12 @@ val mark_important : t -> int -> unit
 (** Mark a variable as gating early-SAT detection (see
     {!set_early_sat}).  Idempotent. *)
 
+val set_max_learnts : t -> int -> unit
+(** Learnt clauses tolerated before {!solve} runs a database reduction
+    (default 4000; the limit then grows geometrically).  A tiny value
+    forces a reduction every few conflicts — the stress mode the
+    locked-clause regression tests rely on. *)
+
 val set_stop : t -> (unit -> bool) option -> unit
 (** Cooperative cancellation: the hook is polled every few hundred
     search steps (decisions and conflicts) inside {!solve}.  When it
@@ -225,6 +231,25 @@ val num_lbd_deletions : t -> int
 val num_early_sats : t -> int
 (** [Sat] answers concluded on a partial assignment by early-SAT
     detection ({!set_early_sat}). *)
+
+val num_compactions : t -> int
+(** Arena compactions performed (live clauses copied to a fresh arena
+    and every cref relocated), accumulated over the solver's life. *)
+
+val arena_words : t -> int
+(** Words currently used in the clause arena, including dead slices not
+    yet reclaimed by compaction.  Multiply by [Sys.word_size / 8] for
+    bytes. *)
+
+val arena_wasted_words : t -> int
+(** Words of the arena occupied by deleted or shrunk-away slices
+    (reclaimed by the next compaction). *)
+
+val minor_words : t -> float
+(** Minor-heap words allocated inside {!solve} calls, cumulative
+    ([Gc.minor_words] deltas).  The observable behind the
+    allocation-free-propagation claim: at steady state this grows by
+    roughly zero words per propagation. *)
 
 val trail_size : t -> int
 (** Current length of the assignment trail (theory-integration use). *)

@@ -67,6 +67,9 @@ type stats = {
   preprocessed_clauses : int;
   lbd_reductions : int;
   checks : int;
+  arena_words : int;
+  arena_compactions : int;
+  minor_words : float;
 }
 
 let create ?(incremental = false) ?(certify = false) ?strategy ?(features = default_features) () =
@@ -228,7 +231,8 @@ let check ?(assumptions = []) s =
   let process_new sat =
     let size = Sat.trail_size sat in
     let conflict = ref None in
-    while !conflict = None && !theory_pos < size do
+    let running = ref true in
+    while !running && !theory_pos < size do
       let i = !theory_pos in
       let lit = Sat.trail_lit sat i in
       let v = Sat.lit_var lit in
@@ -237,13 +241,16 @@ let check ?(assumptions = []) s =
        | Some a ->
          let x = if a.Cnf.ix < 0 then zero else a.Cnf.ix in
          let y = if a.Cnf.iy < 0 then zero else a.Cnf.iy in
-         let constr =
-           if Sat.lit_sign lit then { Idl_inc.x; y; k = a.Cnf.ik; tag = Sat.pos_lit v }
-           else { Idl_inc.x = y; y = x; k = -a.Cnf.ik - 1; tag = Sat.neg_lit v }
+         let res =
+           if Sat.lit_sign lit then
+             Idl_inc.assert_constr idl ~trail_pos:i ~x ~y ~k:a.Cnf.ik ~tag:(Sat.pos_lit v)
+           else
+             Idl_inc.assert_constr idl ~trail_pos:i ~x:y ~y:x ~k:(-a.Cnf.ik - 1)
+               ~tag:(Sat.neg_lit v)
          in
-         (match Idl_inc.assert_constr idl ~trail_pos:i constr with
-          | Ok () ->
-            if s.features.theory_prop then begin
+         (match res with
+          | None ->
+            if s.features.theory_prop then
               (* Ladder propagation: x-y<=k true forces every weaker
                  bound on the pair; false forces every stronger bound
                  false.  Emitting the binary lemma towards the adjacent
@@ -251,24 +258,25 @@ let check ?(assumptions = []) s =
                  as reason) do what would otherwise each be a full
                  theory conflict; adjacency composes, so the whole
                  ladder is eventually covered. *)
-              let below, above = Idl_inc.ladder_neighbors idl ~x ~y ~k:a.Cnf.ik in
-              if Sat.lit_sign lit then (
-                match above with
-                | Some (_, v') when not (Sat.var_assigned sat v') ->
+              if Sat.lit_sign lit then begin
+                let v' = Idl_inc.ladder_above idl ~var:v in
+                if v' >= 0 && not (Sat.var_assigned sat v') then begin
                   pending := [ Sat.neg_lit v; Sat.pos_lit v' ] :: !pending;
                   s.theory_props <- s.theory_props + 1
-                | _ -> ())
-              else
-                match below with
-                | Some (_, v') when not (Sat.var_assigned sat v') ->
+                end
+              end
+              else begin
+                let v' = Idl_inc.ladder_below idl ~var:v in
+                if v' >= 0 && not (Sat.var_assigned sat v') then begin
                   pending := [ Sat.neg_lit v'; Sat.pos_lit v ] :: !pending;
                   s.theory_props <- s.theory_props + 1
-                | _ -> ()
-            end
-          | Error tags ->
+                end
+              end
+          | Some tags ->
             s.theory_rounds <- s.theory_rounds + 1;
+            running := false;
             conflict := Some (List.map Sat.lit_neg tags)));
-      if !conflict = None then incr theory_pos
+      if !running then incr theory_pos
     done;
     !conflict
   in
@@ -386,4 +394,7 @@ let stats s =
     preprocessed_clauses = Sat.num_preprocessed sat;
     lbd_reductions = Sat.num_lbd_deletions sat;
     checks = s.checks;
+    arena_words = Sat.arena_words sat;
+    arena_compactions = Sat.num_compactions sat;
+    minor_words = Sat.minor_words sat;
   }

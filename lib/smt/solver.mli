@@ -86,6 +86,13 @@ type stats = {
       (** clauses removed or strengthened by level-0 preprocessing *)
   lbd_reductions : int;  (** learnt clauses deleted by LBD-scored reduction *)
   checks : int;  (** {!check} calls answered so far *)
+  arena_words : int;
+      (** words currently used by the SAT core's clause arena
+          (multiply by [Sys.word_size / 8] for bytes) *)
+  arena_compactions : int;  (** arena compactions performed *)
+  minor_words : float;
+      (** minor-heap words allocated inside SAT solving, cumulative
+          ([Gc.minor_words] deltas around each [Sat.solve]) *)
 }
 (** Counters accumulate across every {!check} of an incremental
     solver; they are never reset. *)

@@ -1,5 +1,16 @@
 type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
 
+(* Debug mode: the [unsafe_*] accessors regain bounds checks when the
+   environment sets MS_VEC_DEBUG (any value but "0"/""), so a cref or
+   watcher-index bug in the SAT core's hot loops fails loudly instead of
+   reading garbage.  The flag is read once at module initialization: the
+   branch on an immutable bool predicts perfectly and keeps the release
+   path identical to a bare [Array.unsafe_get]. *)
+let debug =
+  match Sys.getenv_opt "MS_VEC_DEBUG" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
 let create ?(capacity = 16) ~dummy () =
   { data = Array.make (max capacity 1) dummy; len = 0; dummy }
 
@@ -14,6 +25,14 @@ let set v i x =
   if i < 0 || i >= v.len then invalid_arg "Vec.set";
   v.data.(i) <- x
 
+let unsafe_get v i =
+  if debug && (i < 0 || i >= v.len) then invalid_arg "Vec.unsafe_get (MS_VEC_DEBUG)";
+  Array.unsafe_get v.data i
+
+let unsafe_set v i x =
+  if debug && (i < 0 || i >= v.len) then invalid_arg "Vec.unsafe_set (MS_VEC_DEBUG)";
+  Array.unsafe_set v.data i x
+
 let grow v =
   let cap = Array.length v.data in
   let data = Array.make (2 * cap) v.dummy in
@@ -22,7 +41,7 @@ let grow v =
 
 let push v x =
   if v.len = Array.length v.data then grow v;
-  v.data.(v.len) <- x;
+  Array.unsafe_set v.data v.len x;
   v.len <- v.len + 1
 
 let pop v =
@@ -44,6 +63,24 @@ let shrink v n =
   if n < 0 || n > v.len then invalid_arg "Vec.shrink";
   Array.fill v.data n (v.len - n) v.dummy;
   v.len <- n
+
+let ensure_capacity v n =
+  if n > Array.length v.data then begin
+    let cap = ref (Array.length v.data) in
+    while !cap < n do
+      cap := 2 * !cap
+    done;
+    let data = Array.make !cap v.dummy in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let blit src spos dst dpos len =
+  if len < 0 || spos < 0 || spos + len > src.len || dpos < 0 || dpos > dst.len then
+    invalid_arg "Vec.blit";
+  ensure_capacity dst (dpos + len);
+  Array.blit src.data spos dst.data dpos len;
+  if dpos + len > dst.len then dst.len <- dpos + len
 
 let iter f v =
   for i = 0 to v.len - 1 do

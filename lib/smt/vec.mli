@@ -5,10 +5,26 @@ type 'a t
 val create : ?capacity:int -> dummy:'a -> unit -> 'a t
 (** [dummy] fills unused slots; it is never returned by accessors. *)
 
+val debug : bool
+(** Whether the [unsafe_*] accessors carry bounds checks in this
+    process (environment variable [MS_VEC_DEBUG], read once at
+    startup; unset, empty or ["0"] means off). *)
+
 val size : 'a t -> int
 val is_empty : 'a t -> bool
 val get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit
+
+val unsafe_get : 'a t -> int -> 'a
+(** [get] without the bounds check — the SAT core's propagation loop
+    accessor.  Reading past [size] is undefined behavior in release
+    mode; with [MS_VEC_DEBUG] set it raises [Invalid_argument] like
+    {!get} (see {!debug}). *)
+
+val unsafe_set : 'a t -> int -> 'a -> unit
+(** [set] without the bounds check; same debug-mode contract as
+    {!unsafe_get}. *)
+
 val push : 'a t -> 'a -> unit
 val pop : 'a t -> 'a
 (** @raise Invalid_argument when empty. *)
@@ -17,6 +33,12 @@ val last : 'a t -> 'a
 val clear : 'a t -> unit
 val shrink : 'a t -> int -> unit
 (** [shrink v n] truncates [v] to its first [n] elements. *)
+
+val blit : 'a t -> int -> 'a t -> int -> int -> unit
+(** [blit src spos dst dpos len] copies [len] elements, growing [dst]'s
+    length to [dpos + len] when the copy extends past its current size
+    ([dpos] itself must not: holes are never created).
+    @raise Invalid_argument when a range is out of bounds. *)
 
 val iter : ('a -> unit) -> 'a t -> unit
 val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc

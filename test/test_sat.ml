@@ -36,8 +36,7 @@ let test_no_clauses () =
 
 (* Pigeonhole: n+1 pigeons in n holes is unsatisfiable and needs real
    conflict-driven search, exercising learning and backjumping. *)
-let pigeonhole n =
-  let s = S.create () in
+let pigeonhole_into s n =
   let var = Array.init (n + 1) (fun _ -> Array.init n (fun _ -> S.new_var s)) in
   for p = 0 to n do
     S.add_clause s (List.init n (fun h -> S.pos_lit var.(p).(h)))
@@ -48,7 +47,11 @@ let pigeonhole n =
         S.add_clause s [ S.neg_lit var.(p1).(h); S.neg_lit var.(p2).(h) ]
       done
     done
-  done;
+  done
+
+let pigeonhole n =
+  let s = S.create () in
+  pigeonhole_into s n;
   s
 
 let test_pigeonhole () =
@@ -159,6 +162,49 @@ let test_unsat_is_permanent () =
   Alcotest.(check (list int)) "no core: formula itself unsat" [] (S.unsat_core s);
   Alcotest.check result "still unsat under assumptions" S.Unsat
     (S.solve ~assumptions:[ S.pos_lit v.(0) ] s)
+
+(* --- learnt-database reduction vs locked clauses (the PR 5 bug class) ------ *)
+
+(* With the learnt cap tiny, a database reduction runs every few
+   conflicts while many learnt clauses are serving as trail reasons.
+   The historical bug compared reason values physically against a
+   freshly boxed [Some clause] — always false — so reductions deleted
+   locked clauses and conflict analysis cited deleted antecedents.  In
+   the arena representation reasons are crefs and [locked] is integer
+   equality, but a reintroduced fresh-box (or otherwise always-false)
+   comparison would again delete live reasons; compaction then clears
+   their [reason] slots, and conflict analysis hits the missing-reason
+   assertion or derives garbage.  Correct Unsat answers under thousands
+   of forced reductions *and* at least one arena compaction are the
+   regression signal; both reduction policies (activity and LBD) are
+   exercised. *)
+let test_locked_clauses_survive_reduction () =
+  List.iter
+    (fun lbd ->
+      let s = S.create () in
+      S.set_lbd s lbd;
+      S.set_max_learnts s 3;
+      pigeonhole_into s 6;
+      Alcotest.check result
+        (Printf.sprintf "php 6 under constant reduction (lbd=%b)" lbd)
+        S.Unsat (S.solve s);
+      if S.num_compactions s = 0 then
+        Alcotest.failf "expected arena compactions under lbd=%b (wasted %d of %d words)" lbd
+          (S.arena_wasted_words s) (S.arena_words s))
+    [ false; true ]
+
+(* The same stress under assumptions: the refutation is independent of
+   the (irrelevant) assumed literal, so the reported core must be empty,
+   and the solver must stay reusable after the stressed call. *)
+let test_reduction_stress_incremental () =
+  let s = S.create () in
+  S.set_max_learnts s 3;
+  let extra = S.new_var s in
+  pigeonhole_into s 5;
+  Alcotest.check result "unsat under irrelevant assumption" S.Unsat
+    (S.solve ~assumptions:[ S.pos_lit extra ] s);
+  Alcotest.(check (list int)) "core empty: formula itself unsat" [] (S.unsat_core s);
+  Alcotest.check result "still unsat" S.Unsat (S.solve s)
 
 (* --- differential testing against brute force ----------------------------- *)
 
@@ -304,6 +350,10 @@ let () =
           Alcotest.test_case "assumption false at level 0" `Quick test_assumption_false_at_level0;
           Alcotest.test_case "incremental clause growth" `Quick test_incremental_clause_growth;
           Alcotest.test_case "unsat is permanent" `Quick test_unsat_is_permanent;
+          Alcotest.test_case "locked clauses survive reduction" `Quick
+            test_locked_clauses_survive_reduction;
+          Alcotest.test_case "reduction stress incremental" `Quick
+            test_reduction_stress_incremental;
         ] );
       ( "properties",
         [

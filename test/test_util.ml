@@ -95,6 +95,92 @@ let test_sarif_empty () =
   let s = D.render_sarif [] in
   Alcotest.(check bool) "valid empty run" true (contains ~needle:"\"results\":[]" s)
 
+(* --- Vec: the SAT core's growable array ----------------------------------- *)
+
+module V = Smt.Vec
+
+let test_vec_basics () =
+  let v = V.create ~dummy:(-1) () in
+  Alcotest.(check bool) "empty" true (V.is_empty v);
+  for i = 0 to 99 do
+    V.push v i
+  done;
+  Alcotest.(check int) "size" 100 (V.size v);
+  Alcotest.(check int) "get" 42 (V.get v 42);
+  V.set v 42 7;
+  Alcotest.(check int) "set" 7 (V.get v 42);
+  Alcotest.(check int) "last" 99 (V.last v);
+  Alcotest.(check int) "pop" 99 (V.pop v);
+  Alcotest.(check int) "size after pop" 99 (V.size v);
+  V.shrink v 10;
+  Alcotest.(check int) "size after shrink" 10 (V.size v);
+  Alcotest.(check int) "kept prefix" 9 (V.get v 9);
+  V.clear v;
+  Alcotest.(check bool) "cleared" true (V.is_empty v)
+
+let test_vec_unsafe_accessors () =
+  (* In-bounds behavior must be identical to the checked accessors;
+     the tests run with MS_VEC_DEBUG unset, so this also covers the
+     release configuration the solver ships with. *)
+  let v = V.create ~dummy:0 () in
+  for i = 0 to 999 do
+    V.push v (i * 3)
+  done;
+  for i = 0 to 999 do
+    if V.unsafe_get v i <> V.get v i then Alcotest.failf "unsafe_get mismatch at %d" i
+  done;
+  V.unsafe_set v 500 (-9);
+  Alcotest.(check int) "unsafe_set visible to get" (-9) (V.get v 500);
+  (* Out-of-bounds raises only when the debug flag was set at startup;
+     assert the flag's wiring is consistent either way. *)
+  if V.debug then begin
+    (match V.unsafe_get v 1000 with
+     | exception Invalid_argument _ -> ()
+     | _ -> Alcotest.fail "debug mode should bounds-check unsafe_get");
+    match V.unsafe_set v (-1) 0 with
+    | exception Invalid_argument _ -> ()
+    | () -> Alcotest.fail "debug mode should bounds-check unsafe_set"
+  end
+
+let test_vec_blit () =
+  let src = V.create ~dummy:(-1) () in
+  for i = 0 to 9 do
+    V.push src i
+  done;
+  (* overwrite inside dst *)
+  let dst = V.create ~dummy:(-1) () in
+  for _ = 0 to 4 do
+    V.push dst 100
+  done;
+  V.blit src 2 dst 1 3;
+  Alcotest.(check (list int)) "overwrite" [ 100; 2; 3; 4; 100 ] (V.to_list dst);
+  (* copy extending past dst's current size grows it *)
+  V.blit src 0 dst 3 7;
+  Alcotest.(check int) "grown" 10 (V.size dst);
+  Alcotest.(check (list int)) "extended" [ 100; 2; 3; 0; 1; 2; 3; 4; 5; 6 ] (V.to_list dst);
+  (* appending exactly at the end works; holes are rejected *)
+  let fresh = V.create ~dummy:(-1) () in
+  V.blit src 0 fresh 0 10;
+  Alcotest.(check (list int)) "append to empty" (V.to_list src) (V.to_list fresh);
+  (match V.blit src 0 fresh 11 1 with
+   | exception Invalid_argument _ -> ()
+   | () -> Alcotest.fail "blit must not create holes");
+  (* bad source ranges are rejected *)
+  (match V.blit src 8 fresh 0 3 with
+   | exception Invalid_argument _ -> ()
+   | () -> Alcotest.fail "source overrun");
+  match V.blit src 0 fresh 0 (-1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative length"
+
+let test_vec_swap_remove_sort () =
+  let v = V.create ~dummy:(-1) () in
+  List.iter (V.push v) [ 5; 1; 4; 2; 3 ];
+  V.swap_remove v 1;
+  Alcotest.(check int) "size" 4 (V.size v);
+  V.sort_in_place compare v;
+  Alcotest.(check (list int)) "sorted remainder" [ 2; 3; 4; 5 ] (V.to_list v)
+
 let () =
   Alcotest.run "util"
     [
@@ -111,5 +197,12 @@ let () =
           Alcotest.test_case "shape" `Quick test_sarif_shape;
           Alcotest.test_case "rules deduped" `Quick test_sarif_rules_deduped;
           Alcotest.test_case "empty" `Quick test_sarif_empty;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick test_vec_basics;
+          Alcotest.test_case "unsafe accessors" `Quick test_vec_unsafe_accessors;
+          Alcotest.test_case "blit" `Quick test_vec_blit;
+          Alcotest.test_case "swap_remove and sort" `Quick test_vec_swap_remove_sort;
         ] );
     ]
