@@ -21,9 +21,14 @@
 # SAT core's steady-state propagation loop must allocate ~0 minor
 # words per propagation, all-off and all-on must agree on the hardest
 # query with all-on at least 2x faster above a noise floor, and the
-# arena-compaction path must actually run under reduction stress).
+# arena-compaction path must actually run under reduction stress),
+# and the serve smoke benchmark (the delta daemon absorbing config
+# churn via core-disjoint verdict replay must agree with cold full
+# re-verification on every step, show non-zero replay and cache-hit
+# counters, and be at least 2x faster than the cold path when the
+# diff touches <= 20% of the devices).
 
-.PHONY: all build test lint fuzz coverage bench-smoke bench-parallel-smoke bench-solver-smoke certify-smoke bench-scale-smoke bench-arena-smoke check clean
+.PHONY: all build test lint fuzz coverage bench-smoke bench-parallel-smoke bench-solver-smoke certify-smoke bench-scale-smoke bench-arena-smoke bench-serve-smoke check clean
 
 all: build
 
@@ -82,7 +87,10 @@ bench-scale-smoke: build
 bench-arena-smoke: build
 	dune exec bench/main.exe -- arena --smoke
 
-check: build test lint bench-smoke bench-parallel-smoke bench-solver-smoke certify-smoke bench-scale-smoke bench-arena-smoke
+bench-serve-smoke: build
+	dune exec bench/main.exe -- serve --smoke
+
+check: build test lint bench-smoke bench-parallel-smoke bench-solver-smoke certify-smoke bench-scale-smoke bench-arena-smoke bench-serve-smoke
 
 clean:
 	dune clean

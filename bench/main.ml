@@ -49,10 +49,17 @@
                  writes BENCH_arena.json (--smoke: gates verdict
                  agreement, the ~0 words/propagation ceiling, the
                  compaction path, and the 2x hardest-query floor)
+     serve       the verification-as-a-service loop: a delta daemon
+                 absorbing config churn via diff + core-disjoint
+                 verdict replay vs a cold daemon re-verifying each
+                 step from scratch; writes BENCH_serve.json.  Verdict
+                 agreement is always gated; --smoke additionally gates
+                 non-zero replay/cache-hit counters and a 2x speedup
+                 floor for diffs touching <= 20% of the devices
      micro       Bechamel micro-benchmarks of the SMT substrate
      all         everything above
 
-   Usage: dune exec bench/main.exe -- [fig7|fig8|opts|violations|batch|parallel|solver|certify|scale|arena|micro|all] [--full|--smoke]
+   Usage: dune exec bench/main.exe -- [fig7|fig8|opts|violations|batch|parallel|solver|certify|scale|arena|serve|micro|all] [--full|--smoke]
 
    By default the expensive sweeps are subsampled so the whole harness
    finishes in minutes; pass --full for the complete paper-scale runs
@@ -71,6 +78,19 @@ let time f =
 
 let outcome_str = function MS.Verify.Holds -> "verified" | MS.Verify.Violation _ -> "violated"
 
+(* shims over the Query/Report API for the single-shot outcomes the
+   benchmarks time *)
+let verify_check enc prop =
+  MS.Verify.Report.to_outcome (MS.Verify.run_query enc (MS.Verify.Query.of_property "query" prop))
+
+let verify_net net opts make =
+  let enc = MS.Encode.build net opts in
+  MS.Verify.Report.to_outcome (MS.Verify.run_query enc (MS.Verify.Query.v "query" make))
+
+let query_with_stats enc prop =
+  let r = MS.Verify.run_query enc (MS.Verify.Query.of_property "query" prop) in
+  (MS.Verify.Report.to_outcome r, r.MS.Verify.Report.stats)
+
 (* ---------------- Figure 7: the enterprise fleet ---------------- *)
 
 (* The four §8.1 checks, each returning (outcome, milliseconds). *)
@@ -80,7 +100,7 @@ let check_mgmt (t : G.Enterprise.t) =
   let target = List.hd (List.rev devices) in
   time (fun () ->
       let enc = MS.Encode.build net MS.Options.default in
-      MS.Verify.check enc
+      verify_check enc
         (MS.Property.reachability enc ~sources:devices
            (MS.Property.Subnet (target, t.G.Enterprise.mgmt_prefix target))))
 
@@ -90,14 +110,14 @@ let check_equiv (t : G.Enterprise.t) =
     Some
       (time (fun () ->
            let enc = MS.Encode.build t.G.Enterprise.network MS.Options.default in
-           MS.Verify.check enc (MS.Property.acl_equivalence enc r1 r2)))
+           verify_check enc (MS.Property.acl_equivalence enc r1 r2)))
   | _ -> None
 
 let check_blackholes (t : G.Enterprise.t) =
   let allowed = t.G.Enterprise.edge_routers @ t.G.Enterprise.rack_role in
   time (fun () ->
       let enc = MS.Encode.build t.G.Enterprise.network MS.Options.default in
-      MS.Verify.check enc (MS.Property.no_blackholes enc ~allowed ()))
+      verify_check enc (MS.Property.no_blackholes enc ~allowed ()))
 
 (* Fault invariance over day-to-day (host-space) reachability, matching
    the paper's all-router-pairs check; management reachability is the
@@ -113,8 +133,9 @@ let check_fault_invariance (t : G.Enterprise.t) =
       (d, t.G.Enterprise.mgmt_prefix d)
   in
   time (fun () ->
-      MS.Verify.fault_invariant net MS.Options.default ~k:1 ~sources:devices
-        (MS.Property.Subnet (target, prefix)))
+      MS.Verify.Report.to_outcome
+        (MS.Verify.fault_invariant net MS.Options.default ~k:1 ~sources:devices
+           (MS.Property.Subnet (target, prefix))))
 
 let summarize name times =
   match times with
@@ -230,7 +251,7 @@ let fig8_one pods =
     let o, ms =
       time (fun () ->
           let enc = MS.Encode.build net MS.Options.default in
-          MS.Verify.check enc (prop enc))
+          verify_check enc (prop enc))
     in
     Printf.printf "     %-28s %-9s %10.1f ms\n%!" name (outcome_str o) ms
   in
@@ -294,7 +315,7 @@ let opts_bench () =
           let o, ms =
             time (fun () ->
                 let enc = MS.Encode.build net opts in
-                MS.Verify.check enc
+                verify_check enc
                   (MS.Property.reachability enc ~sources:[ src ]
                      (MS.Property.Subnet (dst_tor, dst_prefix))))
           in
@@ -344,11 +365,11 @@ let batch ~smoke () =
   let n = List.length suite in
   Printf.printf "   enterprise seed=%d routers=%d, %d-property suite (fig7)\n%!" seed routers n;
   (* Baseline: each query pays for its own encoding and its own solver,
-     exactly what N independent Verify.verify calls do. *)
+     exactly what N independent fresh-solver run_query calls do. *)
   let baseline =
     List.map
       (fun (name, make) ->
-        let o, ms = time (fun () -> MS.Verify.verify net opts make) in
+        let o, ms = time (fun () -> verify_net net opts make) in
         Printf.printf "   fresh    %-20s %-9s %10.1f ms\n%!" name (outcome_str o) ms;
         (name, o, ms))
       suite
@@ -393,7 +414,7 @@ let batch ~smoke () =
     st.Smt.Solver.checks;
   if not agree then print_endline "   !! verdict mismatch between fresh and session paths";
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "{\n  \"schema\": 2,\n";
   Buffer.add_string buf
     (Printf.sprintf
        "  \"network\": { \"kind\": \"enterprise\", \"seed\": %d, \"routers\": %d },\n" seed
@@ -523,7 +544,7 @@ let parallel ~smoke () =
     (match port_report.MS.Verify.Report.strategy with Some s -> s | None -> "-")
     (if port_agree then "" else "  !! verdict diverges from -j1");
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "{\n  \"schema\": 2,\n";
   Buffer.add_string buf
     (Printf.sprintf
        "  \"network\": { \"kind\": \"enterprise\", \"seed\": %d, \"routers\": %d },\n" seed
@@ -706,7 +727,7 @@ let solver_bench ~smoke () =
     (dpc off_reports) (dpc on_reports);
   if not agree then print_endline "   !! verdict divergence between feature configurations";
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "{\n  \"schema\": 2,\n";
   Buffer.add_string buf
     (Printf.sprintf
        "  \"networks\": { \"enterprise\": { \"seed\": %d, \"routers\": %d }, \"fattree\": { \
@@ -889,7 +910,7 @@ let certify_bench ~smoke () =
     base_total cert_total overhead !proofs !models;
   if not agree then print_endline "   !! verdict mismatch between plain and certified passes";
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "{\n  \"schema\": 2,\n";
   Buffer.add_string buf
     (Printf.sprintf
        "  \"networks\": { \"enterprise\": { \"seed\": %d, \"routers\": %d }, \"fattree\": { \
@@ -997,7 +1018,7 @@ let scale ~smoke () =
         let srcs_on = MS.Encode.project_devices enc_on other_tors in
         let (o_on, st_on), on_solve_ms =
           time (fun () ->
-              MS.Verify.check_with_stats enc_on
+              query_with_stats enc_on
                 (MS.Property.reachability enc_on ~sources:srcs_on dest))
         in
         let on_total = on_encode_ms +. on_solve_ms in
@@ -1025,7 +1046,7 @@ let scale ~smoke () =
             in
             let (o_off, st_off), off_solve_ms =
               time (fun () ->
-                  MS.Verify.check_with_stats enc_off
+                  query_with_stats enc_off
                     (MS.Property.reachability enc_off ~sources:other_tors dest))
             in
             let off_total = off_encode_ms +. off_solve_ms in
@@ -1062,7 +1083,7 @@ let scale ~smoke () =
   in
   let buf = Buffer.create 4096 in
   let quote = Msutil.Json.quote in
-  Buffer.add_string buf "{\n  \"benchmark\": \"scale\",\n";
+  Buffer.add_string buf "{\n  \"schema\": 2,\n  \"benchmark\": \"scale\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"off_budget_ms\": %.0f,\n  \"sizes\": [\n" off_budget_ms);
   let nrows = List.length rows in
@@ -1244,7 +1265,7 @@ let arena_bench ~smoke () =
     (if php_unsat then "unsat" else "SAT (wrong!)")
     compactions (100.0 *. live_fraction);
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"benchmark\": \"arena\",\n";
+  Buffer.add_string buf "{\n  \"schema\": 2,\n  \"benchmark\": \"arena\",\n";
   Buffer.add_string buf
     (Printf.sprintf
        "  \"propagation\": { \"chain_vars\": %d, \"solves\": %d, \"propagations\": %d, \
@@ -1305,6 +1326,223 @@ let arena_bench ~smoke () =
       Printf.printf
         "   smoke OK: %.4f words/propagation, verdicts agree, hardest query %.2fx\n%!"
         words_per_prop (off_ms /. on_ms)
+  end
+
+(* ---------------- serve: delta re-verification vs cold daemons ---------------- *)
+
+(* The verification-as-a-service loop an operator actually runs: load a
+   network once, then per change push a [diff] and re-ask a suite of
+   localized invariants.  The delta daemon migrates core-disjoint
+   verdicts across each diff; ground truth (and the timing baseline) is
+   a cold daemon that loads the same mutated text from scratch each
+   step.  Gates: verdict agreement on every step (always), and under
+   --smoke non-zero replay/cache counters plus a 2x wall-clock floor
+   for the delta path when the diff touches <= 20% of the devices. *)
+
+let serve_req fmt = Printf.ksprintf (fun s -> s) fmt
+
+let serve_ask d line =
+  let resp, _ = Serve.handle_line d line in
+  match Msutil.Json.parse resp with
+  | Error e -> failwith ("bench serve: unparseable response: " ^ e)
+  | Ok v -> (
+    match Option.bind (Msutil.Json.member "ok" v) Msutil.Json.get_bool with
+    | Some true -> v
+    | _ ->
+      failwith
+        ("bench serve: request failed: "
+        ^ Option.value ~default:resp
+            (Option.bind (Msutil.Json.member "error" v) Msutil.Json.get_string)))
+
+let serve_int v k =
+  match Option.bind (Msutil.Json.member k v) Msutil.Json.get_int with
+  | Some n -> n
+  | None -> failwith ("bench serve: response lacks " ^ k)
+
+let serve_verdicts v =
+  match Option.bind (Msutil.Json.member "reports" v) Msutil.Json.get_list with
+  | None -> failwith "bench serve: query response lacks reports"
+  | Some rs ->
+    List.map
+      (fun r ->
+        ( Option.value ~default:"?" (Option.bind (Msutil.Json.member "label" r) Msutil.Json.get_string),
+          Option.value ~default:"?" (Option.bind (Msutil.Json.member "verdict" r) Msutil.Json.get_string) ))
+      rs
+
+(* Deterministic ACL churn on one of the first two racks — the same
+   mutation family as the differential test, kept to rack ACLs so the
+   rest of the fleet's verdicts stay replayable. *)
+let serve_mutate step (t : G.Enterprise.t) (net : A.network) =
+  let racks = t.G.Enterprise.rack_role in
+  let victim = List.nth racks (step mod min 2 (List.length racks)) in
+  let subnet = t.G.Enterprise.rack_subnet victim in
+  let mutate_acl (acl : A.acl) =
+    if step mod 2 = 0 then
+      {
+        acl with
+        A.acl_entries =
+          acl.A.acl_entries
+          @ [ { A.acl_action = A.Deny; acl_dst = Net.Prefix.make (Net.Prefix.first subnet) 32 } ];
+      }
+    else
+      {
+        acl with
+        A.acl_entries =
+          (match acl.A.acl_entries with
+           | e :: rest ->
+             { e with A.acl_action = (match e.A.acl_action with A.Permit -> A.Deny | A.Deny -> A.Permit) }
+             :: rest
+           | [] -> [ { A.acl_action = A.Deny; acl_dst = subnet } ]);
+      }
+  in
+  {
+    net with
+    A.net_devices =
+      List.map
+        (fun (d : A.device) ->
+          if d.A.dev_name <> victim then d
+          else
+            match d.A.dev_acls with
+            | acl :: rest -> { d with A.dev_acls = mutate_acl acl :: rest }
+            | [] ->
+              { d with A.dev_acls = [ { A.acl_name = "90"; acl_entries = [ { A.acl_action = A.Deny; acl_dst = subnet } ] } ] })
+        net.A.net_devices;
+  }
+
+let serve_bench ~smoke () =
+  let routers = if !full then 20 else 14 in
+  let steps = if !full then 6 else 4 in
+  let seed = 11 in
+  print_endline "== serve: delta re-verification vs cold full verification ==";
+  let t = G.Enterprise.make ~seed ~routers ~inject:G.Enterprise.no_bugs () in
+  let racks = t.G.Enterprise.rack_role in
+  if List.length racks < 4 then failwith "bench serve: enterprise too small for a remote suite";
+  (* the suite: ACL equivalence over consecutive pairs of racks the
+     churn never touches — the invariants an operator re-checks after a
+     change somewhere else *)
+  let remote = List.filteri (fun i _ -> i >= 2) racks in
+  let rec pairs = function a :: (b :: _ as rest) -> (a, b) :: pairs rest | _ -> [] in
+  let suite = pairs remote in
+  let query =
+    serve_req {|{"schema":2,"op":"query","queries":[%s]}|}
+      (String.concat ","
+         (List.map
+            (fun (a, b) ->
+              serve_req {|{"property":"acl-equivalence","label":"eq-%s-%s","devices":["%s","%s"]}|} a b a b)
+            suite))
+  in
+  let req_load text = serve_req {|{"schema":2,"op":"load","config":%s}|} (Msutil.Json.quote text) in
+  let req_diff text = serve_req {|{"schema":2,"op":"diff","config":%s}|} (Msutil.Json.quote text) in
+  let base_text = Config.Printer.network_to_string t.G.Enterprise.network in
+  let delta = Serve.create MS.Options.default in
+  ignore (serve_ask delta (req_load base_text));
+  let (_ : 'a), warm_ms = time (fun () -> serve_ask delta query) in
+  Printf.printf "   %d devices, %d-query suite, warm solve %.1f ms\n%!" routers (List.length suite) warm_ms;
+  let net = ref t.G.Enterprise.network in
+  let rows = ref [] in
+  let agree_all = ref true in
+  let delta_total = ref 0.0 and full_total = ref 0.0 in
+  for step = 0 to steps - 1 do
+    net := serve_mutate step t !net;
+    let text = Config.Printer.network_to_string !net in
+    let (dresp, got), delta_ms =
+      time (fun () ->
+          let dresp = serve_ask delta (req_diff text) in
+          (dresp, serve_verdicts (serve_ask delta query)))
+    in
+    let want, full_ms =
+      time (fun () ->
+          let cold = Serve.create MS.Options.default in
+          ignore (serve_ask cold (req_load text));
+          serve_verdicts (serve_ask cold query))
+    in
+    let agree = got = want in
+    if not agree then agree_all := false;
+    let mode =
+      Option.value ~default:"?" (Option.bind (Msutil.Json.member "mode" dresp) Msutil.Json.get_string)
+    in
+    let replayed = serve_int dresp "replayed" in
+    delta_total := !delta_total +. delta_ms;
+    full_total := !full_total +. full_ms;
+    Printf.printf "   step %d: %s diff, %d replayed, delta %.1f ms vs full %.1f ms%s\n%!" step
+      mode replayed delta_ms full_ms
+      (if agree then "" else "  ** VERDICTS DIVERGE **");
+    rows := (step, mode, replayed, delta_ms, full_ms, agree) :: !rows
+  done;
+  (* A -> B -> A flap: reloading the base text must hit the encoding cache *)
+  ignore (serve_ask delta (req_load base_text));
+  ignore (serve_ask delta query);
+  let stats = serve_ask delta {|{"schema":2,"op":"stats"}|} in
+  let replays = serve_int stats "delta_replays" in
+  let verdict_hits = serve_int stats "verdict_hits" in
+  let enc_hits = serve_int stats "enc_cache_hits" in
+  let speedup = !full_total /. !delta_total in
+  Printf.printf
+    "   totals: delta %.1f ms, full %.1f ms (%.1fx); %d replays, %d verdict hits, %d encoding \
+     cache hits\n%!"
+    !delta_total !full_total speedup replays verdict_hits enc_hits;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": 2,\n  \"benchmark\": \"serve\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"network\": { \"kind\": \"enterprise\", \"seed\": %d, \"routers\": %d },\n" seed routers);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"suite\": { \"queries\": %d, \"kind\": \"localized acl-equivalence\" },\n"
+       (List.length suite));
+  Buffer.add_string buf (Printf.sprintf "  \"warm_solve_ms\": %.2f,\n" warm_ms);
+  Buffer.add_string buf "  \"steps\": [\n";
+  List.iteri
+    (fun i (step, mode, replayed, dms, fms, agree) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"step\": %d, \"mode\": \"%s\", \"replayed\": %d, \"delta_ms\": %.2f, \
+            \"full_ms\": %.2f, \"verdicts_agree\": %b }%s\n"
+           step mode replayed dms fms agree
+           (if i = List.length !rows - 1 then "" else ",")))
+    (List.rev !rows);
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf (Printf.sprintf "  \"delta_total_ms\": %.2f,\n" !delta_total);
+  Buffer.add_string buf (Printf.sprintf "  \"full_total_ms\": %.2f,\n" !full_total);
+  Buffer.add_string buf (Printf.sprintf "  \"speedup\": %.3f,\n" speedup);
+  Buffer.add_string buf (Printf.sprintf "  \"delta_replays\": %d,\n" replays);
+  Buffer.add_string buf (Printf.sprintf "  \"verdict_cache_hits\": %d,\n" verdict_hits);
+  Buffer.add_string buf (Printf.sprintf "  \"encoding_cache_hits\": %d,\n" enc_hits);
+  Buffer.add_string buf (Printf.sprintf "  \"verdicts_agree\": %b\n}\n" !agree_all);
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_endline "   wrote BENCH_serve.json";
+  (* the correctness gate is unconditional: replayed verdicts must be
+     indistinguishable from freshly solved ones *)
+  if not !agree_all then begin
+    prerr_endline "bench serve: delta daemon diverged from full verification";
+    exit 1
+  end;
+  if smoke then begin
+    if replays = 0 then begin
+      prerr_endline "bench-serve-smoke: no verdict was replayed across a diff";
+      exit 1
+    end;
+    if verdict_hits = 0 || enc_hits = 0 then begin
+      Printf.eprintf "bench-serve-smoke: cache hits missing (verdict %d, encoding %d)\n"
+        verdict_hits enc_hits;
+      exit 1
+    end;
+    (* same noise-floor convention as the other smokes: the 2x floor is
+       only meaningful when the full path costs enough to measure *)
+    let floor_ms = 50.0 in
+    let target = 2.0 in
+    if !full_total >= floor_ms && speedup < target then begin
+      Printf.eprintf "bench-serve-smoke: delta %.2fx below the %.1fx floor (full %.1f ms)\n"
+        speedup target !full_total;
+      exit 1
+    end;
+    if !full_total < floor_ms then
+      Printf.printf
+        "   (speedup gate skipped: full path %.1f ms under the %.0f ms floor — agreement and \
+         cache gates still enforced)\n%!"
+        !full_total floor_ms
+    else Printf.printf "   smoke OK: verdicts agree, %d replays, delta %.2fx\n%!" replays speedup
   end
 
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
@@ -1399,6 +1637,7 @@ let () =
    | "certify" -> certify_bench ~smoke ()
    | "scale" -> scale ~smoke ()
    | "arena" -> arena_bench ~smoke ()
+   | "serve" -> serve_bench ~smoke ()
    | "all" ->
      fig7 ();
      print_newline ();
@@ -1420,10 +1659,12 @@ let () =
      print_newline ();
      arena_bench ~smoke ();
      print_newline ();
+     serve_bench ~smoke ();
+     print_newline ();
      micro ()
    | other ->
      Printf.eprintf
-       "unknown benchmark %s (fig7|fig8|opts|violations|batch|parallel|solver|certify|scale|arena|micro|all)\n"
+       "unknown benchmark %s (fig7|fig8|opts|violations|batch|parallel|solver|certify|scale|arena|serve|micro|all)\n"
        other;
      exit 2);
   Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

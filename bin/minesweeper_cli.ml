@@ -438,6 +438,60 @@ let gen_cmd =
   Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic network configuration.")
     Term.(const run $ kind $ pods $ routers $ seed $ hijack $ acl_gap $ deep)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket to listen on (an existing file is replaced).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Cap on the per-request worker-process fan-out; query requests asking for more are \
+             clamped. 1 (the default) answers everything in-process on the persistent \
+             incremental session.")
+  in
+  let failures =
+    Arg.(value & opt (some int) None & info [ "failures"; "k" ] ~doc:"Verify under up to $(docv) link failures.")
+  in
+  let naive = Arg.(value & flag & info [ "naive" ] ~doc:"Disable the optimizations of \xc2\xa76.") in
+  let no_lint =
+    Arg.(value & flag & info [ "no-lint" ] ~doc:"Skip the pre-flight lint when encoding.")
+  in
+  let run socket jobs failures naive no_lint =
+    let opts = opts_of naive failures in
+    let opts = if no_lint then { opts with MS.Options.preflight_lint = false } else opts in
+    Serve.run (Serve.create ~jobs opts) ~socket
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Run the verification daemon: a long-lived process speaking line-delimited JSON \
+         (schema 2) over a Unix-domain socket. Each request line is one object with an \
+         $(b,op) field — $(b,load) and $(b,diff) carry a $(b,config) string, $(b,query) \
+         carries a $(b,queries) array of property specs (the $(b,verify) vocabulary) and an \
+         optional $(b,jobs), and $(b,stats)/$(b,shutdown) take no arguments. Each response \
+         is one JSON line.";
+      `P
+        "The daemon caches encodings by concrete configuration digest and verdicts by query \
+         spec; a $(b,diff) whose change is disjoint from a cached verdict's support set \
+         replays that verdict without solving (reports carry $(b,replayed):true).";
+      `S Manpage.s_exit_status;
+      `P "0 — clean shutdown (a $(b,shutdown) request).";
+      `P "2 — usage error or the socket could not be bound.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~man ~doc:"Run the verification daemon on a Unix-domain socket.")
+    Term.(const run $ socket $ jobs $ failures $ naive $ no_lint)
+
 (* ---- parse ---- *)
 
 let parse_cmd =
@@ -455,4 +509,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "minesweeper" ~doc)
-          [ verify_cmd; lint_cmd; simulate_cmd; gen_cmd; parse_cmd ]))
+          [ verify_cmd; lint_cmd; simulate_cmd; gen_cmd; parse_cmd; serve_cmd ]))

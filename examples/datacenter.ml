@@ -7,6 +7,10 @@
    Run with: dune exec examples/datacenter.exe -- [pods] *)
 
 module MS = Minesweeper
+
+(* the Query/Report API reduced to the bare outcome these examples print *)
+let verify_check enc prop =
+  MS.Verify.Report.to_outcome (MS.Verify.run_query enc (MS.Verify.Query.of_property "query" prop))
 module G = Generators
 
 let time f =
@@ -34,7 +38,7 @@ let () =
     (Net.Prefix.to_string (ft.G.Fattree.tor_subnet dst_tor));
   let check name prop =
     let enc = MS.Encode.build ft.G.Fattree.network MS.Options.default in
-    report name (time (fun () -> MS.Verify.check enc (prop enc)))
+    report name (time (fun () -> verify_check enc (prop enc)))
   in
   check "all-ToR reachability" (fun enc -> MS.Property.reachability enc ~sources dest);
   check "bounded length (4 hops)" (fun enc ->

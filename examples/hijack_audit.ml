@@ -6,6 +6,10 @@
    Run with: dune exec examples/hijack_audit.exe -- [count] *)
 
 module MS = Minesweeper
+
+(* the Query/Report API reduced to the bare outcome these examples print *)
+let verify_check enc prop =
+  MS.Verify.Report.to_outcome (MS.Verify.run_query enc (MS.Verify.Query.of_property "query" prop))
 module G = Generators
 module A = Config.Ast
 
@@ -29,7 +33,7 @@ let () =
           (MS.Property.Subnet (target, t.G.Enterprise.mgmt_prefix target))
       in
       let lines = Config.Printer.network_config_lines net in
-      match MS.Verify.check enc prop with
+      match verify_check enc prop with
       | MS.Verify.Holds ->
         Printf.printf "network %2d (%2d routers, %5d lines): management access verified\n%!"
           !audited (List.length devices) lines

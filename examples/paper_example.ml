@@ -13,6 +13,10 @@
    Run with: dune exec examples/paper_example.exe *)
 
 module MS = Minesweeper
+
+(* the Query/Report API reduced to the bare outcome these examples print *)
+let verify_check enc prop =
+  MS.Verify.Report.to_outcome (MS.Verify.run_query enc (MS.Verify.Query.of_property "query" prop))
 module T = Smt.Term
 module P = Net.Prefix
 
@@ -132,7 +136,7 @@ let () =
           [ reach_n1 "R3"; T.not_ (reach_n2 "R3"); T.not_ (reach_n3 "R3") ];
     }
   in
-  match MS.Verify.check enc prop with
+  match verify_check enc prop with
   | MS.Verify.Holds ->
     print_endline "verified: when N1, N2 and N3 all advertise, S3's traffic exits via N1";
     print_endline "(R2 picks N3 for itself, R1 demotes the N3 route and so prefers N1)"

@@ -5,6 +5,10 @@
    Run with: dune exec examples/quickstart.exe *)
 
 module MS = Minesweeper
+
+(* the Query/Report API reduced to the bare outcome these examples print *)
+let verify_check enc prop =
+  MS.Verify.Report.to_outcome (MS.Verify.run_query enc (MS.Verify.Query.of_property "query" prop))
 module P = Net.Prefix
 
 let config =
@@ -41,7 +45,7 @@ let () =
 
   (* 3. verify: can [left] always reach the unfiltered half of the LAN? *)
   let reachable_half = MS.Property.Subnet ("right", P.of_string "10.2.0.0/25") in
-  (match MS.Verify.check enc (MS.Property.reachability enc ~sources:[ "left" ] reachable_half) with
+  (match verify_check enc (MS.Property.reachability enc ~sources:[ "left" ] reachable_half) with
    | MS.Verify.Holds -> print_endline "10.2.0.0/25: reachable from left (verified)"
    | MS.Verify.Violation _ -> print_endline "10.2.0.0/25: unexpectedly not reachable");
 
@@ -49,7 +53,7 @@ let () =
      demonstrating the violation *)
   let enc2 = MS.Encode.build net MS.Options.default in
   let filtered_half = MS.Property.Subnet ("right", P.of_string "10.2.0.0/24") in
-  match MS.Verify.check enc2 (MS.Property.reachability enc2 ~sources:[ "left" ] filtered_half) with
+  match verify_check enc2 (MS.Property.reachability enc2 ~sources:[ "left" ] filtered_half) with
   | MS.Verify.Holds -> print_endline "10.2.0.0/24: reachable (unexpected!)"
   | MS.Verify.Violation cx ->
     Printf.printf "10.2.0.0/24: violated as expected; counterexample packet dst=%s\n"

@@ -1,0 +1,23 @@
+(** The linter: every check family ({!Refs}, {!Deadcode},
+    {!Consistency}, {!Symmetry}) run over a network, diagnostics
+    collected and sorted. *)
+
+exception Lint_errors of Diagnostic.t list
+(** Raised by {!preflight} when Error-level findings exist.  A printer
+    is registered, so an uncaught escape still renders the findings. *)
+
+val run : Config.Ast.network -> Diagnostic.t list
+(** All diagnostics from every check family, sorted by
+    {!Diagnostic.compare}. *)
+
+val errors : Diagnostic.t list -> Diagnostic.t list
+(** The Error-severity subset. *)
+
+val exit_code : Diagnostic.t list -> int
+(** Exit code for a CLI lint run: [0] clean or info-only, [1] warnings,
+    [2] errors. *)
+
+val preflight : Config.Ast.network -> unit
+(** The encoder's pre-flight hook: no-op on a clean network.
+    @raise Lint_errors when Error-level findings exist, so a broken
+    configuration is reported instead of encoded. *)

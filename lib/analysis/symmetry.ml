@@ -210,6 +210,13 @@ let fingerprint (dev : A.device) =
   Digest.to_hex
     (Digest.string (String.concat "\n" (List.map (fun (n, s) -> n ^ ":" ^ s) (sections dev))))
 
+(* Concrete digest: a hash of the device's printed configuration, with
+   addresses and AS numbers literal.  Unlike [fingerprint] this is NOT
+   renaming-canonical — two consistently-renamed devices get different
+   digests — which is exactly what cache keys and diff detection need:
+   a renamed neighbor IP changes behavior and must change the key. *)
+let digest (dev : A.device) = Digest.to_hex (Digest.string (Config.Printer.device_to_string dev))
+
 (* -- partition refinement ----------------------------------------------------- *)
 
 (* Color refinement to a fixpoint: each round recolors every device by

@@ -1,0 +1,63 @@
+(** Symmetry analysis: device interchangeability classes, the quotient
+    reduction behind [Options.symmetry], and the near-symmetry lint.
+
+    Two devices are interchangeable when a consistent renaming of
+    devices, address blocks and AS numbers maps one's configuration
+    onto the other's and respects the topology.  The analysis
+    approximates this with canonical per-device fingerprints refined by
+    topology colors (partition refinement to a fixpoint), which is
+    sound for the quotient: devices in one class are genuinely
+    role-identical. *)
+
+type partition = { groups : string list list }
+(** Disjoint classes covering every device; members sorted, groups
+    sorted by their first member.  Singleton classes are included. *)
+
+val fingerprint : Config.Ast.device -> string
+(** Renaming-canonical configuration hash: address blocks and AS
+    numbers are replaced by first-occurrence indices before hashing, so
+    two consistently-renamed devices share a fingerprint.  Equal
+    fingerprints seed the interchangeability classes; offsets within an
+    address block and mask lengths stay literal (they are policy, not
+    naming).  Use {!digest} — not this — wherever a hash must change
+    when concrete addresses change. *)
+
+val digest : Config.Ast.device -> string
+(** Concrete configuration hash: [Digest.to_hex] of the device's
+    printed configuration, addresses and AS numbers literal.  Two
+    consistently-renamed devices get {e different} digests, so this is
+    the right key for encoding caches and config-diff detection (the
+    serve daemon keys both on it); {!fingerprint} is the right seed for
+    symmetry classes.  Insensitive to concrete-syntax noise of the
+    source text (comments, ordering of unordered sections) because it
+    hashes the canonical printer output, not the input bytes. *)
+
+val classes : ?pins:string list -> Config.Ast.network -> Net.Topology.t -> partition
+(** Interchangeability classes: canonical-fingerprint seeds refined by
+    topology.  [pins] forces the named devices into singleton classes. *)
+
+val topological_classes : Config.Ast.network -> Net.Topology.t -> partition
+(** Classes by topological role only (uniform seed refined by the link
+    structure), ignoring configuration content — the candidate pool for
+    the near-symmetry lint. *)
+
+type reduction = {
+  red_network : Config.Ast.network;  (** the quotient network *)
+  red_rep : (string * string) list;  (** collapsed member -> representative *)
+  red_classes : (string * string list) list;
+      (** representative -> full sorted class, for classes of size >= 2 *)
+}
+
+val reduce : ?pins:string list -> Config.Ast.network -> reduction option
+(** The quotient network: one representative device per class, class-mates
+    deleted and references to them rewritten.  [None] when no class has
+    size two or more, or on feature combinations whose quotient
+    semantics would differ from the full network (iBGP, statics with
+    internal next hops, intra-class links, failures); the encoder then
+    falls back to the full encoding.  [pins] names devices that must
+    survive as themselves. *)
+
+val check : Config.Ast.network -> Diagnostic.t list
+(** The near-symmetry lint (MS-W401): in a topological role class of at
+    least three devices with a unique plurality policy, flag each
+    dissenting device and the sections where it differs. *)

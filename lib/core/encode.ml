@@ -30,7 +30,14 @@ type t = {
   pkt : Packet.t;
   suffix : string;
   igp_only : bool;
-  mutable asserts : T.t list;
+  (* assertions carry their provenance: [Some d] for constraints
+     generated while encoding device [d]'s configuration, [None] for
+     shared structure (packet well-formedness, the failure-count
+     cardinality bound).  The serve daemon's delta re-verification
+     guards each device's slice behind an assumption literal and reads
+     verdict support off the final-conflict core; see [scope]. *)
+  mutable asserts : (string option * T.t) list;
+  mutable scope : string option;
   dev_enc : (string, device_enc) Hashtbl.t;
   cf : (string * Nexthop.t, T.t) Hashtbl.t;
   df : (string * Nexthop.t, T.t) Hashtbl.t;
@@ -52,9 +59,18 @@ type t = {
 let network t = t.net
 let options t = t.opts
 let packet t = t.pkt
-let assertions t = List.rev t.asserts
+let assertions t = List.rev_map snd t.asserts
+let tagged_assertions t = List.rev t.asserts
 let devices t = List.map (fun (d : A.device) -> d.A.dev_name) t.net.A.net_devices
-let emit t term = t.asserts <- term :: t.asserts
+let emit t term = t.asserts <- (t.scope, term) :: t.asserts
+
+(* Run [f] with assertion provenance attributed to device [d]. *)
+let in_scope t d f =
+  let saved = t.scope in
+  t.scope <- Some d;
+  let r = f () in
+  t.scope <- saved;
+  r
 
 let canonical a b = if a <= b then (a, b) else (b, a)
 
@@ -198,6 +214,7 @@ let rec build_general (net : A.network) (opts : Options.t) ~igp_only ~suffix ~ds
       suffix;
       igp_only;
       asserts = [];
+      scope = None;
       dev_enc = Hashtbl.create 64;
       cf = Hashtbl.create 256;
       df = Hashtbl.create 256;
@@ -297,9 +314,16 @@ let rec build_general (net : A.network) (opts : Options.t) ~igp_only ~suffix ~ds
       in
       Hashtbl.replace t.dev_enc dev.A.dev_name enc)
     net.A.net_devices;
-  List.iter (fun (dev : A.device) -> build_device_candidates t dev) net.A.net_devices;
-  List.iter (fun (dev : A.device) -> constrain_device t dev) net.A.net_devices;
-  List.iter (fun (dev : A.device) -> build_forwarding t dev) net.A.net_devices;
+  List.iter
+    (fun (dev : A.device) ->
+      in_scope t dev.A.dev_name (fun () -> build_device_candidates t dev))
+    net.A.net_devices;
+  List.iter
+    (fun (dev : A.device) -> in_scope t dev.A.dev_name (fun () -> constrain_device t dev))
+    net.A.net_devices;
+  List.iter
+    (fun (dev : A.device) -> in_scope t dev.A.dev_name (fun () -> build_forwarding t dev))
+    net.A.net_devices;
   t
 
 (* Reachability toward a concrete address, used for iBGP session
@@ -327,19 +351,20 @@ and reach_to_ip t ip =
     (fun (dev : A.device) ->
       let d = dev.A.dev_name in
       let v = Hashtbl.find tbl d in
-      if owner dev then emit t (T.iff v T.tru)
-      else begin
-        let base = if attached dev then [ datafwd t d Nexthop.To_deliver ] else [] in
-        let steps =
-          List.map
-            (fun n ->
-              match Hashtbl.find_opt tbl n with
-              | Some vn -> T.and_ [ datafwd t d (Nexthop.To_device n); vn ]
-              | None -> T.fls)
-            (internal_neighbors t d)
-        in
-        emit t (T.iff v (T.or_ (base @ steps)))
-      end)
+      in_scope t d (fun () ->
+          if owner dev then emit t (T.iff v T.tru)
+          else begin
+            let base = if attached dev then [ datafwd t d Nexthop.To_deliver ] else [] in
+            let steps =
+              List.map
+                (fun n ->
+                  match Hashtbl.find_opt tbl n with
+                  | Some vn -> T.and_ [ datafwd t d (Nexthop.To_device n); vn ]
+                  | None -> T.fls)
+                (internal_neighbors t d)
+            in
+            emit t (T.iff v (T.or_ (base @ steps)))
+          end))
     t.net.A.net_devices;
   tbl
 
@@ -999,5 +1024,5 @@ let build ?(suffix = "") ?(pins = []) net opts =
 
 let stats t =
   let n = List.length t.asserts in
-  let size = List.fold_left (fun acc a -> acc + T.size a) 0 t.asserts in
+  let size = List.fold_left (fun acc (_, a) -> acc + T.size a) 0 t.asserts in
   (n, size)

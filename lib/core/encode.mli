@@ -44,6 +44,16 @@ val packet : t -> Packet.t
 val assertions : t -> Smt.Term.t list
 (** The network semantics [N]: assert all of these. *)
 
+val tagged_assertions : t -> (string option * Smt.Term.t) list
+(** {!assertions} with provenance: [Some d] tags constraints generated
+    while encoding device [d]'s configuration (its candidates, policy
+    applications, route selection and forwarding — including its slice
+    of any iBGP-copy encodings), [None] tags shared structure (packet
+    well-formedness, the failure-cardinality bound).  A support-tracking
+    {!Verify.Session} guards each device's slice behind an assumption
+    literal so UNSAT verdicts report which devices their refutation
+    used. *)
+
 val devices : t -> string list
 
 val hops : t -> string -> Nexthop.t list

@@ -3,7 +3,7 @@
     A property is a triple: [instrumentation] constraints (extra
     variables such as reachability or path-length bits), [assumptions]
     restricting packets/environments (conjoined positively), and the
-    [goal].  {!Verify.check} asserts the network semantics, the
+    [goal].  {!Verify.run_query} asserts the network semantics, the
     instrumentation, the assumptions, and the {e negation} of the goal:
     UNSAT means the property holds in every stable state, for every
     packet and environment. *)

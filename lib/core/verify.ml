@@ -62,7 +62,21 @@ module Report = struct
            delta over the enclosing session/worker otherwise *)
     worker : int;  (* 0 = in-process; workers of a pool count from 1 *)
     strategy : string option;  (* winning variant, in portfolio mode *)
+    support : string list option;
+        (* Verified verdicts from a support-tracking session: the
+           devices whose assumption guards appear in the final-conflict
+           core.  The refutation used only their configuration slices
+           (plus shared structure), so the verdict survives any edit
+           disjoint from this set. *)
+    replayed : bool;
+        (* the verdict was replayed from a cache (core-disjoint delta
+           re-verification), not produced by a solver run *)
   }
+
+  (* The JSON schema version stamped on every report, bench file and
+     serve-protocol message.  Bump on any breaking change to the JSON
+     surface. *)
+  let schema_version = 2
 
   let verdict_name = function
     | Verified -> "verified"
@@ -121,10 +135,18 @@ module Report = struct
   let to_json r =
     let buf = Buffer.create 256 in
     Buffer.add_string buf
-      (Printf.sprintf "{\"label\":\"%s\",\"verdict\":\"%s\",\"wall_ms\":%.2f,\"worker\":%d"
-         (json_escape r.label) (verdict_name r.verdict) r.wall_ms r.worker);
+      (Printf.sprintf
+         "{\"schema\":%d,\"label\":\"%s\",\"verdict\":\"%s\",\"wall_ms\":%.2f,\"worker\":%d"
+         schema_version (json_escape r.label) (verdict_name r.verdict) r.wall_ms r.worker);
     (match r.strategy with
      | Some s -> Buffer.add_string buf (Printf.sprintf ",\"strategy\":\"%s\"" (json_escape s))
+     | None -> ());
+    if r.replayed then Buffer.add_string buf ",\"replayed\":true";
+    (match r.support with
+     | Some devs ->
+       Buffer.add_string buf
+         (Printf.sprintf ",\"support\":[%s]"
+            (String.concat "," (List.map (fun d -> "\"" ^ json_escape d ^ "\"") devs)))
      | None -> ());
     (match r.verdict with
      | Error e -> Buffer.add_string buf (Printf.sprintf ",\"error\":\"%s\"" (json_escape e))
@@ -239,6 +261,8 @@ let run_query enc (q : Query.t) : Report.t =
       stats;
       worker = 0;
       strategy = None;
+      support = None;
+      replayed = false;
     }
   in
   let solver = solve_assertions enc (q.Query.prop enc) in
@@ -252,18 +276,6 @@ let run_query enc (q : Query.t) : Report.t =
     finish (Report.Violated (Counterexample.decode enc model)) cert (Solver.stats solver)
   | exception Solver.Canceled -> finish Report.Timeout Report.Uncertified (Solver.stats solver)
 
-(* -- deprecated pre-Report entry points (thin wrappers) -------------------- *)
-
-let check_with_stats enc prop =
-  let r = run_query enc (Query.of_property "check" prop) in
-  (Report.to_outcome r, r.Report.stats)
-
-let check enc prop = fst (check_with_stats enc prop)
-
-let verify net opts make_prop =
-  let enc = Encode.build net opts in
-  check enc (make_prop enc)
-
 (* -- incremental verification sessions ------------------------------------- *)
 
 module Session = struct
@@ -271,14 +283,20 @@ module Session = struct
     enc : Encode.t;
     solver : Solver.t;
     owner : int;  (* pid of the creating process; see [guard_owner] *)
+    guards : (string * T.t) list;
+        (* support tracking: per-device assumption guard over that
+           device's assertion slice; [] when tracking is off *)
     mutable next : int;
     mutable active : T.t option;  (* activation literal of the live query *)
     mutable last_model : Smt.Model.t option;  (* model of the last Sat check *)
+    mutable last_support : string list option;
+        (* device guards in the final-conflict core of the last Unsat
+           check; [None] after Sat checks or without support tracking *)
   }
 
   type t = session
 
-  let of_encoding ?strategy ?features enc =
+  let of_encoding ?strategy ?features ?(support = false) enc =
     let opts = Encode.options enc in
     let strategy =
       match strategy with Some st -> st | None -> opts.Options.strategy
@@ -289,13 +307,45 @@ module Session = struct
     let solver =
       Solver.create ~incremental:true ~certify:opts.Options.certify ~strategy ~features ()
     in
-    List.iter (Solver.assert_term solver) (Encode.assertions enc);
-    { enc; solver; owner = Unix.getpid (); next = 0; active = None; last_model = None }
+    let guards =
+      if not support then begin
+        List.iter (Solver.assert_term solver) (Encode.assertions enc);
+        []
+      end
+      else begin
+        (* Guard each device's slice behind an assumption literal.
+           Every check passes all the guards, so verdicts are those of
+           the plain session; on Unsat the final-conflict core over the
+           assumptions names the devices whose slices the refutation
+           used — the verdict's support. *)
+        let guards =
+          List.map (fun d -> (d, T.var ("dev!" ^ d) Smt.Sort.Bool)) (Encode.devices enc)
+        in
+        List.iter
+          (fun (scope, term) ->
+            match scope with
+            | None -> Solver.assert_term solver term
+            | Some d -> Solver.assert_implied solver ~guard:(List.assoc d guards) term)
+          (Encode.tagged_assertions enc);
+        guards
+      end
+    in
+    {
+      enc;
+      solver;
+      owner = Unix.getpid ();
+      guards;
+      next = 0;
+      active = None;
+      last_model = None;
+      last_support = None;
+    }
 
-  let create net opts = of_encoding (Encode.build net opts)
+  let create ?support net opts = of_encoding ?support (Encode.build net opts)
   let encoding s = s.enc
   let queries s = s.next
   let stats s = Solver.stats s.solver
+  let last_support s = s.last_support
 
   (* A session is a single-process object: the solver's assumption
      stack, activation-literal counter and proof trace all live in this
@@ -323,15 +373,23 @@ module Session = struct
       (Solver.assert_implied s.solver ~guard:act)
       (prop.Property.instrumentation @ prop.Property.assumptions);
     Solver.assert_implied s.solver ~guard:act (T.not_ prop.Property.goal);
-    match Solver.check ~assumptions:[ act ] s.solver with
+    match Solver.check ~assumptions:(act :: List.map snd s.guards) s.solver with
     | Solver.Unsat ->
       s.last_model <- None;
+      (if s.guards = [] then s.last_support <- None
+       else begin
+         let core = Solver.unsat_core s.solver in
+         s.last_support <-
+           Some
+             (List.filter_map
+                (fun (d, g) -> if List.exists (T.equal g) core then Some d else None)
+                s.guards)
+       end);
       Holds
     | Solver.Sat model ->
       s.last_model <- Some model;
+      s.last_support <- None;
       Violation (Counterexample.decode s.enc model)
-
-  let check_all s make_props = List.map (fun make -> check s (make s.enc)) make_props
 
   (* Per-query solver work: session counters accumulate forever, so a
      query's cost is the delta across its check. *)
@@ -390,6 +448,8 @@ module Session = struct
       stats = stats_delta before (Solver.stats s.solver);
       worker = 0;
       strategy = None;
+      support = (match verdict with Report.Verified -> s.last_support | _ -> None);
+      replayed = false;
     }
 
   let run s queries = List.map (run_one s) queries
@@ -427,7 +487,7 @@ let envs_equal enc1 enc2 =
         (Encode.external_peers enc1 d))
     (Encode.devices enc1)
 
-let two_copy_check enc1 enc2 ~extra_assumptions ~goal =
+let two_copy_check ?timeout ~label enc1 enc2 ~extra_assumptions ~goal =
   let prop =
     {
       Property.instrumentation = Encode.assertions enc2;
@@ -435,9 +495,9 @@ let two_copy_check enc1 enc2 ~extra_assumptions ~goal =
       goal;
     }
   in
-  check enc1 prop
+  run_query enc1 (Query.of_property ?timeout label prop)
 
-let equivalent net1 net2 opts =
+let equivalent ?timeout net1 net2 opts =
   (* two-copy checks compare devices by name across both encodings, so
      each copy must contain every device: symmetry quotients (which may
      collapse the two networks differently) are forced off *)
@@ -464,9 +524,10 @@ let equivalent net1 net2 opts =
           (Encode.external_peers enc1 d))
       (Encode.devices enc1)
   in
-  two_copy_check enc1 enc2 ~extra_assumptions:[] ~goal:(T.and_ (fwd_equal @ exports_equal))
+  two_copy_check ?timeout ~label:"equivalent" enc1 enc2 ~extra_assumptions:[]
+    ~goal:(T.and_ (fwd_equal @ exports_equal))
 
-let fault_invariant net opts ~k ~sources dest =
+let fault_invariant ?timeout net opts ~k ~sources dest =
   (* same two-copy argument as [equivalent]; the failure copy would bail
      out anyway ([max_failures] disables the reduction) but the healthy
      copy must match it device-for-device *)
@@ -490,4 +551,184 @@ let fault_invariant net opts ~k ~sources dest =
       goal;
     }
   in
-  check enc1 prop
+  run_query enc1 (Query.of_property ?timeout "fault-invariant" prop)
+
+(* -- the versioned serve protocol ------------------------------------------- *)
+
+module Protocol = struct
+  module J = Msutil.Json
+
+  let schema = Report.schema_version
+
+  type query_spec = {
+    property : string;
+    label : string option;
+    sources : string list;
+    dst_device : string option;
+    dst_prefix : string option;
+    bound : int;
+    devices : string list;
+    allowed : string list;
+    max_len : int;
+    timeout : float option;
+  }
+
+  let default_spec =
+    {
+      property = "reachability";
+      label = None;
+      sources = [];
+      dst_device = None;
+      dst_prefix = None;
+      bound = 4;
+      devices = [];
+      allowed = [];
+      max_len = 24;
+      timeout = None;
+    }
+
+  type request =
+    | Load of string
+    | Diff of string
+    | Query of { specs : query_spec list; jobs : int }
+    | Stats
+    | Shutdown
+
+  let spec_of_json v : (query_spec, string) result =
+    match J.member "property" v with
+    | None -> Error "query spec is missing \"property\""
+    | Some p -> (
+      match J.get_string p with
+      | None -> Error "\"property\" must be a string"
+      | Some property ->
+        let str k = Option.bind (J.member k v) J.get_string in
+        let strs k d = Option.value ~default:d (Option.bind (J.member k v) J.string_list) in
+        let int_ k d = Option.value ~default:d (Option.bind (J.member k v) J.get_int) in
+        Ok
+          {
+            property;
+            label = str "label";
+            sources = strs "sources" [];
+            dst_device = str "dst_device";
+            dst_prefix = str "dst_prefix";
+            bound = int_ "bound" default_spec.bound;
+            devices = strs "devices" [];
+            allowed = strs "allowed" [];
+            max_len = int_ "max_len" default_spec.max_len;
+            timeout = Option.bind (J.member "timeout" v) J.get_float;
+          })
+
+  let request_of_json v : (request, string) result =
+    match v with
+    | J.Obj _ -> (
+      (match J.member "schema" v with
+       | Some s when J.get_int s <> Some schema ->
+         Error (Printf.sprintf "unsupported schema (this daemon speaks schema %d)" schema)
+       | Some _ | None -> Ok ())
+      |> function
+      | Error e -> Error e
+      | Ok () -> (
+        match Option.bind (J.member "op" v) J.get_string with
+        | None -> Error "request is missing \"op\""
+        | Some "load" -> (
+          match Option.bind (J.member "config" v) J.get_string with
+          | Some c -> Ok (Load c)
+          | None -> Error "\"load\" needs a \"config\" string")
+        | Some "diff" -> (
+          match Option.bind (J.member "config" v) J.get_string with
+          | Some c -> Ok (Diff c)
+          | None -> Error "\"diff\" needs a \"config\" string")
+        | Some "query" -> (
+          let jobs =
+            Option.value ~default:1 (Option.bind (J.member "jobs" v) J.get_int)
+          in
+          match Option.bind (J.member "queries" v) J.get_list with
+          | None -> Error "\"query\" needs a \"queries\" array"
+          | Some [] -> Error "\"queries\" must not be empty"
+          | Some vs ->
+            List.fold_right
+              (fun v acc ->
+                match (spec_of_json v, acc) with
+                | Ok s, Ok tl -> Ok (s :: tl)
+                | (Error _ as e), _ -> e
+                | _, (Error _ as e) -> e)
+              vs (Ok [])
+            |> Result.map (fun specs -> Query { specs; jobs }))
+        | Some "stats" -> Ok Stats
+        | Some "shutdown" -> Ok Shutdown
+        | Some other -> Error ("unknown op " ^ other)))
+    | _ -> Error "request must be a JSON object"
+
+  let parse_request line =
+    match J.parse line with
+    | Error e -> Error ("malformed JSON: " ^ e)
+    | Ok v -> request_of_json v
+
+  (* The verdict-cache key of a query spec: everything that can change
+     the verdict, nothing that cannot (label, timeout). *)
+  let spec_key s =
+    String.concat "|"
+      ([ s.property ]
+      @ List.sort compare s.sources
+      @ [ Option.value ~default:"-" s.dst_device; Option.value ~default:"-" s.dst_prefix ]
+      @ [ string_of_int s.bound ]
+      @ s.devices
+      @ List.sort compare s.allowed
+      @ [ string_of_int s.max_len ])
+
+  (* A spec expands to one or more labelled queries over the shared
+     encoding, mirroring the CLI's property vocabulary; [all-pairs]
+     fans out per destination device. *)
+  let queries_of_spec enc (s : query_spec) : (Query.t list, string) result =
+    let all_devices = Encode.devices enc in
+    let sources = match s.sources with [] -> all_devices | srcs -> srcs in
+    let label default = match s.label with Some l -> l | None -> default in
+    let dest () =
+      match (s.dst_device, s.dst_prefix) with
+      | Some d, Some p -> (
+        match Net.Prefix.of_string p with
+        | p -> Ok (Property.Subnet (d, p))
+        | exception _ -> Error ("malformed dst_prefix " ^ p))
+      | Some d, None -> Ok (Property.Device d)
+      | None, _ -> Error ("property " ^ s.property ^ " needs a dst_device")
+    in
+    let pair () =
+      match s.devices with
+      | [ d1; d2 ] -> Ok (d1, d2)
+      | _ -> Error ("property " ^ s.property ^ " needs \"devices\" naming exactly two devices")
+    in
+    let one name make = Ok [ Query.v ?timeout:s.timeout (label name) make ] in
+    let with_dest name make = Result.bind (dest ()) (fun d -> one name (make d)) in
+    let with_pair name make = Result.bind (pair ()) (fun p -> one name (make p)) in
+    match s.property with
+    | "reachability" ->
+      with_dest "reachability" (fun d enc -> Property.reachability enc ~sources d)
+    | "isolation" -> with_dest "isolation" (fun d enc -> Property.isolation enc ~sources d)
+    | "bounded-length" ->
+      with_dest "bounded-length" (fun d enc ->
+          Property.bounded_length enc ~sources d ~bound:s.bound)
+    | "blackholes" ->
+      one "blackholes" (fun enc -> Property.no_blackholes enc ~allowed:s.allowed ())
+    | "loops" -> one "loops" (fun enc -> Property.no_loops enc ())
+    | "multipath-consistency" ->
+      with_dest "multipath-consistency" (fun d enc -> Property.multipath_consistency enc d)
+    | "acl-equivalence" ->
+      with_pair "acl-equivalence" (fun (d1, d2) enc -> Property.acl_equivalence enc d1 d2)
+    | "local-equivalence" ->
+      with_pair "local-equivalence" (fun (d1, d2) enc -> Property.local_equivalence enc d1 d2)
+    | "no-leak" -> one "no-leak" (fun enc -> Property.no_leak enc ~max_len:s.max_len)
+    | "all-pairs" ->
+      Ok
+        (List.filter_map
+           (fun d ->
+             if Encode.subnets enc d = [] then None
+             else begin
+               let srcs = List.filter (fun x -> x <> d) all_devices in
+               Some
+                 (Query.v ?timeout:s.timeout
+                    (label ("reachability *->" ^ d))
+                    (fun enc -> Property.reachability enc ~sources:srcs (Property.Device d)))
+             end)
+           all_devices)
+    | other -> Error ("unknown property " ^ other)
+end

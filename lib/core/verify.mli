@@ -1,16 +1,24 @@
-(** Top-level verification entry points.
+(** Top-level verification: the {!Query}/{!Report} API.
 
-    [check enc prop] asserts the network semantics, the property's
+    Every verification path — one-shot {!run_query}, incremental
+    {!Session}s, the process-pool engine, portfolio racing, the serve
+    daemon — answers labelled {!Query.t}s with uniform {!Report.t}s.
+    A query asserts the network semantics, the property's
     instrumentation and assumptions, and the negation of its goal.
-    UNSAT ⇒ the property [Holds] in every stable state, for every packet
-    and environment; SAT ⇒ a [Violation] with a decoded counterexample. *)
+    UNSAT ⇒ the property is [Verified] in every stable state, for every
+    packet and environment; SAT ⇒ [Violated] with a decoded
+    counterexample. *)
 
 type outcome = Holds | Violation of Counterexample.t
+(** The bare two-valued answer, kept as the vocabulary of
+    counterexample plumbing and differential tests; {!Report.to_outcome}
+    extracts it from a report. *)
 
 (** A labelled property query: the unit of work of every verification
     path (sequential sessions, the process-pool engine, portfolio
-    racing).  The property is a thunk over the encoding so the same
-    query can be replayed against per-worker sessions. *)
+    racing, the serve daemon).  The property is a thunk over the
+    encoding so the same query can be replayed against per-worker
+    sessions. *)
 module Query : sig
   type t = {
     label : string;
@@ -63,7 +71,22 @@ module Report : sig
             over the enclosing session otherwise *)
     worker : int;  (** 0 when answered in-process; pool workers count from 1 *)
     strategy : string option;  (** winning variant, in portfolio mode *)
+    support : string list option;
+        (** [Verified] verdicts from a support-tracking session: the
+            devices whose assumption guards appear in the final-conflict
+            core.  The refutation used only their configuration slices
+            (plus shared structure), so the verdict survives any config
+            edit disjoint from this set — the serve daemon's delta
+            re-verification replays on exactly this. *)
+    replayed : bool;
+        (** the verdict was replayed from a cache (core-disjoint delta
+            re-verification), not produced by a solver run *)
   }
+
+  val schema_version : int
+  (** The version stamped as ["schema"] on every JSON surface of the
+      repo: {!to_json}, the [BENCH_*.json] writers, and the serve
+      protocol.  Currently [2]. *)
 
   val verdict_name : verdict -> string
   (** ["verified" | "violated" | "timeout" | "error"]. *)
@@ -86,7 +109,7 @@ module Report : sig
 
   val to_json : t -> string
   (** One JSON object — the single renderer behind the CLI's
-      [--format json] and the bench harness. *)
+      [--format json], the bench harness and the serve protocol. *)
 
   val list_to_json : t list -> string
 
@@ -103,16 +126,6 @@ end
 val run_query : Encode.t -> Query.t -> Report.t
 (** Answer one query on a fresh single-shot solver (honouring the
     query's timeout). *)
-
-val check : Encode.t -> Property.t -> outcome
-(** @deprecated Thin wrapper over {!run_query}; use {!Query}/{!Report}. *)
-
-val check_with_stats : Encode.t -> Property.t -> outcome * Smt.Solver.stats
-(** @deprecated Thin wrapper over {!run_query}; use {!Query}/{!Report}. *)
-
-val verify : Config.Ast.network -> Options.t -> (Encode.t -> Property.t) -> outcome
-(** Convenience: build the encoding and check one property.
-    @deprecated Thin wrapper over {!run_query}; use {!Query}/{!Report}. *)
 
 (** Incremental verification sessions: one network encoding answering
     many property queries on a single incremental solver.
@@ -132,23 +145,33 @@ val verify : Config.Ast.network -> Options.t -> (Encode.t -> Property.t) -> outc
 module Session : sig
   type t
 
-  val create : Config.Ast.network -> Options.t -> t
+  val create : ?support:bool -> Config.Ast.network -> Options.t -> t
   (** Build the encoding and assert the network semantics once. *)
 
   val of_encoding :
-    ?strategy:Smt.Solver.strategy -> ?features:Smt.Solver.features -> Encode.t -> t
+    ?strategy:Smt.Solver.strategy ->
+    ?features:Smt.Solver.features ->
+    ?support:bool ->
+    Encode.t ->
+    t
   (** Start a session over an already-built encoding.  [strategy]
       overrides the encoding options' search strategy — the portfolio
       engine uses this to race variants over one shared encoding.
       [features] overrides the encoding options' solver optimizations
-      (the solver bench uses this for its ablation grid). *)
+      (the solver bench uses this for its ablation grid).
+
+      [support] (default [false]) turns on verdict-support tracking:
+      each device's slice of the network assertions (see
+      {!Encode.tagged_assertions}) is guarded behind a per-device
+      assumption literal passed to every check, and a [Verified]
+      report's [support] field names the devices whose guards appear in
+      the solver's final-conflict core.  Verdicts are unchanged — the
+      guards are always all assumed true — but root-level simplification
+      of the network clauses is inhibited, so support tracking costs
+      some solve time; the serve daemon pays it to earn core-disjoint
+      delta re-verification. *)
 
   val encoding : t -> Encode.t
-
-  val check : t -> Property.t -> outcome
-  (** Check one property (built against {!encoding}).  Any number of
-      calls is allowed; verdicts are identical to {!Verify.check} on a
-      fresh solver. *)
 
   val run_one : t -> Query.t -> Report.t
   (** Answer one query on the session's incremental solver.  A timeout
@@ -160,25 +183,82 @@ module Session : sig
   (** Answer a suite in order; the sequential baseline every parallel
       mode is measured against. *)
 
-  val check_all : t -> (Encode.t -> Property.t) list -> outcome list
-  (** Run a suite of property queries in order against the session's
-      encoding.
-      @deprecated Thin wrapper retained for compatibility; use {!run}. *)
-
   val queries : t -> int
   (** Number of queries checked so far. *)
 
   val stats : t -> Smt.Solver.stats
   (** Solver statistics accumulated over all queries of the session. *)
+
+  val last_support : t -> string list option
+  (** Support of the most recent [Verified] check of a
+      support-tracking session; [None] otherwise. *)
 end
 
-val equivalent : Config.Ast.network -> Config.Ast.network -> Options.t -> outcome
+val equivalent : ?timeout:float -> Config.Ast.network -> Config.Ast.network -> Options.t -> Report.t
 (** Full equivalence (§5): under pointwise-equal environments and the
     same packet, both networks make identical forwarding decisions and
     external exports.  Devices and peerings are matched by name. *)
 
 val fault_invariant :
-  Config.Ast.network -> Options.t -> k:int -> sources:string list -> Property.destination -> outcome
+  ?timeout:float ->
+  Config.Ast.network ->
+  Options.t ->
+  k:int ->
+  sources:string list ->
+  Property.destination ->
+  Report.t
 (** Fault-invariance testing (§5): reachability of the destination from
     each source is identical between a failure-free copy and a copy
     with up to [k] failures. *)
+
+(** The versioned line-JSON protocol of the serve daemon
+    ([minesweeper_cli serve], the {!Serve} library).
+
+    Requests are one JSON object per line; every request and response
+    carries a top-level ["schema"] field (see {!Report.schema_version}).
+    Ops: [load] (full configuration text), [diff] (full replacement
+    text; the daemon computes the changed-device delta), [query] (a
+    list of property specs answered from the verdict cache, by delta
+    replay, or by solving), [stats], [shutdown]. *)
+module Protocol : sig
+  val schema : int
+  (** = {!Report.schema_version}. *)
+
+  type query_spec = {
+    property : string;  (** same vocabulary as the CLI's [--property] / [--batch] *)
+    label : string option;
+    sources : string list;
+    dst_device : string option;
+    dst_prefix : string option;
+    bound : int;
+    devices : string list;  (** equivalence pair *)
+    allowed : string list;
+    max_len : int;
+    timeout : float option;
+  }
+
+  val default_spec : query_spec
+  (** [reachability] with every default filled in — build specs with
+      [{ default_spec with ... }]. *)
+
+  type request =
+    | Load of string
+    | Diff of string
+    | Query of { specs : query_spec list; jobs : int }
+    | Stats
+    | Shutdown
+
+  val request_of_json : Msutil.Json.value -> (request, string) result
+
+  val parse_request : string -> (request, string) result
+  (** Parse one request line.  The error string is safe to echo back to
+      the client. *)
+
+  val spec_key : query_spec -> string
+  (** The verdict-cache key: every field that can change the verdict,
+      none that cannot (label, timeout). *)
+
+  val queries_of_spec : Encode.t -> query_spec -> (Query.t list, string) result
+  (** Expand a spec into labelled queries over the encoding;
+      [all-pairs] fans out per destination device. *)
+end

@@ -75,9 +75,9 @@ let drain_frames buf handle =
 
 (* -- worker side ----------------------------------------------------------- *)
 
-let worker_main ~worker_id ?strategy ?strategy_name enc shard wfd =
+let worker_main ~worker_id ?strategy ?strategy_name ?support enc shard wfd =
   (try
-     let session = Verify.Session.of_encoding ?strategy enc in
+     let session = Verify.Session.of_encoding ?strategy ?support enc in
      List.iter
        (fun (idx, q) ->
          write_msg wfd (Started idx);
@@ -92,6 +92,8 @@ let worker_main ~worker_id ?strategy ?strategy_name enc shard wfd =
                stats = Report.empty_stats;
                worker = worker_id;
                strategy = None;
+               support = None;
+               replayed = false;
              }
          in
          write_msg wfd
@@ -113,13 +115,14 @@ type worker = {
   mutable remaining : (int * Query.t) list;  (* shard minus finished queries *)
 }
 
-let sequential enc queries = Verify.Session.run (Verify.Session.of_encoding enc) queries
+let sequential ?support enc queries =
+  Verify.Session.run (Verify.Session.of_encoding ?support enc) queries
 
-let run ?jobs ?timeout enc queries =
+let run ?jobs ?timeout ?support enc queries =
   let queries = List.map (Query.with_default_timeout timeout) queries in
   let jobs = match jobs with Some j -> max 1 j | None -> available_cores () in
   let n = List.length queries in
-  if jobs <= 1 || n <= 1 then sequential enc queries
+  if jobs <= 1 || n <= 1 then sequential ?support enc queries
   else begin
     let qarr = Array.of_list queries in
     let results = Array.make n None in
@@ -143,7 +146,7 @@ let run ?jobs ?timeout enc queries =
         | 0 ->
           Unix.close r;
           List.iter (fun fd -> try Unix.close fd with _ -> ()) sibling_fds;
-          worker_main ~worker_id:wid enc shard w
+          worker_main ~worker_id:wid ?support enc shard w
         | pid ->
           Unix.close w;
           workers :=
@@ -168,6 +171,8 @@ let run ?jobs ?timeout enc queries =
         stats = Report.empty_stats;
         worker = wid;
         strategy = None;
+        support = None;
+        replayed = false;
       }
     in
     let unfinished w = List.filter (fun (i, _) -> results.(i) = None) w.remaining in
@@ -376,4 +381,6 @@ let portfolio ?timeout ?(strategies = Minesweeper.Options.portfolio) enc q =
       stats = Report.empty_stats;
       worker = 0;
       strategy = None;
+      support = None;
+      replayed = false;
     }

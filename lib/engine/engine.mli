@@ -36,6 +36,7 @@ val available_cores : unit -> int
 val run :
   ?jobs:int ->
   ?timeout:float ->
+  ?support:bool ->
   Minesweeper.Encode.t ->
   Verify.Query.t list ->
   Verify.Report.t list
@@ -48,7 +49,13 @@ val run :
     differential tests compare against.  [timeout] is a default
     per-query budget in seconds applied to queries that carry none.
     Queries are dealt round-robin to shards, so adjacent (often
-    similar) queries spread across workers. *)
+    similar) queries spread across workers.
+
+    [support] (default [false]) makes every worker session
+    support-tracking (see {!Verify.Session.of_encoding}): [Verified]
+    reports come back with their [support] device set — it is plain
+    data, so it survives the marshalled worker boundary.  The serve
+    daemon runs its query fan-out this way. *)
 
 val portfolio :
   ?timeout:float ->

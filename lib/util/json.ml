@@ -18,3 +18,188 @@ let escape s =
 let quote s = "\"" ^ escape s ^ "\""
 
 let opt = function None -> "null" | Some s -> quote s
+
+(* -- parsing ---------------------------------------------------------------- *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+exception Bad of string
+
+let parse (s : string) : (value, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some '"' -> Buffer.add_char b '"'; advance ()
+         | Some '\\' -> Buffer.add_char b '\\'; advance ()
+         | Some '/' -> Buffer.add_char b '/'; advance ()
+         | Some 'n' -> Buffer.add_char b '\n'; advance ()
+         | Some 'r' -> Buffer.add_char b '\r'; advance ()
+         | Some 't' -> Buffer.add_char b '\t'; advance ()
+         | Some 'b' -> Buffer.add_char b '\b'; advance ()
+         | Some 'f' -> Buffer.add_char b '\012'; advance ()
+         | Some 'u' ->
+           advance ();
+           let cp = hex4 () in
+           (* Trusted-producer escape handling: BMP code points are
+              re-encoded as UTF-8; surrogate pairs are not decoded
+              (protocol strings are config text and identifiers). *)
+           if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+           else if cp < 0x800 then begin
+             Buffer.add_char b (Char.chr (0xc0 lor (cp lsr 6)));
+             Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+           end
+           else begin
+             Buffer.add_char b (Char.chr (0xe0 lor (cp lsr 12)));
+             Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+             Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+           end
+         | _ -> fail "bad escape");
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c when numchar c -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected a number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Arr (elements [])
+      end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let get_string = function Str s -> Some s | _ -> None
+let get_int = function Num f when Float.is_integer f -> Some (int_of_float f) | _ -> None
+let get_float = function Num f -> Some f | _ -> None
+let get_bool = function Bool b -> Some b | _ -> None
+let get_list = function Arr vs -> Some vs | _ -> None
+
+let string_list v =
+  match v with
+  | Arr vs ->
+    List.fold_right
+      (fun v acc ->
+        match (get_string v, acc) with Some s, Some tl -> Some (s :: tl) | _ -> None)
+      vs (Some [])
+  | _ -> None

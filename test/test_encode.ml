@@ -5,6 +5,13 @@
 
 module A = Config.Ast
 module MS = Minesweeper
+
+(* shims over the Query/Report API for the bare outcomes these tests match on *)
+let verify_check enc prop =
+  MS.Verify.Report.to_outcome (MS.Verify.run_query enc (MS.Verify.Query.of_property "query" prop))
+let verify_net net opts make =
+  let enc = MS.Encode.build net opts in
+  MS.Verify.Report.to_outcome (MS.Verify.run_query enc (MS.Verify.Query.v "query" make))
 module T = Smt.Term
 module P = Net.Prefix
 module Ip = Net.Ipv4
@@ -70,12 +77,12 @@ let test_ibgp_propagation () =
   let prop =
     { base with MS.Property.assumptions = base.MS.Property.assumptions @ announce_all enc }
   in
-  Alcotest.(check bool) "iBGP carries the route" false (violated (MS.Verify.check enc prop));
+  Alcotest.(check bool) "iBGP carries the route" false (violated (verify_check enc prop));
   (* without the announcement assumption, the empty environment is a
      counterexample *)
   let enc2 = MS.Encode.build net default in
   let bare = MS.Property.reachability enc2 ~sources:[ "R2" ] (MS.Property.External_peer peer) in
-  Alcotest.(check bool) "empty environment blocks" true (violated (MS.Verify.check enc2 bare))
+  Alcotest.(check bool) "empty environment blocks" true (violated (verify_check enc2 bare))
 
 (* -- communities in the environment and in filters -------------------------- *)
 
@@ -120,7 +127,7 @@ let test_community_match () =
           @ external_dst enc;
       }
     in
-    MS.Verify.check enc prop
+    verify_check enc prop
   in
   Alcotest.(check bool) "tagged accepted" false (violated (run ~tagged:true));
   Alcotest.(check bool) "untagged filtered" true (violated (run ~tagged:false))
@@ -156,7 +163,7 @@ let test_aggregation () =
     let enc = MS.Encode.build (parse (agg_net summary)) default in
     let base = MS.Property.no_leak enc ~max_len:16 in
     let prop = { base with MS.Property.assumptions = base.MS.Property.assumptions @ quiet_env enc } in
-    MS.Verify.check enc prop
+    verify_check enc prop
   in
   Alcotest.(check bool) "aggregated" false (violated (run true));
   Alcotest.(check bool) "unaggregated /24 leaks" true (violated (run false))
@@ -206,7 +213,7 @@ let test_neighbor_preference () =
           base.MS.Property.assumptions @ like_for_like enc @ external_dst enc;
       }
     in
-    MS.Verify.check enc prop
+    verify_check enc prop
   in
   Alcotest.(check bool) "prefers p1 over p2" false (violated (run [ p1; p2 ]));
   Alcotest.(check bool) "reverse order fails" true (violated (run [ p2; p1 ]))
@@ -257,12 +264,12 @@ let test_multipath_inconsistency () =
   let dest = MS.Property.Subnet ("S", P.of_string "10.9.0.0/24") in
   (* R1 load-balances over R2 and R3, but R3's ACL drops the traffic *)
   Alcotest.(check bool) "figure 6a violated" true
-    (violated (MS.Verify.verify net default (fun enc -> MS.Property.multipath_consistency enc dest)));
+    (violated (verify_net net default (fun enc -> MS.Property.multipath_consistency enc dest)));
   (* removing the ACL restores consistency *)
   let clean = Str.global_replace (Str.regexp_string " ip access-group BAD out\n") "" fig6a in
   Alcotest.(check bool) "clean consistent" false
     (violated
-       (MS.Verify.verify (parse clean) default (fun enc -> MS.Property.multipath_consistency enc dest)))
+       (verify_net (parse clean) default (fun enc -> MS.Property.multipath_consistency enc dest)))
 
 (* -- encoding statistics sanity --------------------------------------------------- *)
 

@@ -290,6 +290,8 @@ let mk label verdict =
     stats = Report.empty_stats;
     worker = 0;
     strategy = None;
+    support = None;
+    replayed = false;
   }
 
 let test_exit_codes () =

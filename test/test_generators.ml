@@ -3,6 +3,10 @@
 
 module A = Config.Ast
 module MS = Minesweeper
+
+(* shims over the Query/Report API for the bare outcomes these tests match on *)
+let verify_check enc prop =
+  MS.Verify.Report.to_outcome (MS.Verify.run_query enc (MS.Verify.Query.of_property "query" prop))
 module P = Net.Prefix
 module G = Generators
 
@@ -17,19 +21,19 @@ let mgmt_reachable (t : G.Enterprise.t) =
     MS.Property.reachability enc ~sources:devices
       (MS.Property.Subnet (target, t.G.Enterprise.mgmt_prefix target))
   in
-  MS.Verify.check enc prop
+  verify_check enc prop
 
 let rack_acl_equiv (t : G.Enterprise.t) =
   match t.G.Enterprise.rack_role with
   | r1 :: r2 :: _ ->
     let enc = MS.Encode.build t.G.Enterprise.network MS.Options.default in
-    Some (MS.Verify.check enc (MS.Property.acl_equivalence enc r1 r2))
+    Some (verify_check enc (MS.Property.acl_equivalence enc r1 r2))
   | _ -> None
 
 let blackhole_check (t : G.Enterprise.t) =
   let enc = MS.Encode.build t.G.Enterprise.network MS.Options.default in
   let allowed = t.G.Enterprise.edge_routers @ t.G.Enterprise.rack_role in
-  MS.Verify.check enc (MS.Property.no_blackholes enc ~allowed ())
+  verify_check enc (MS.Property.no_blackholes enc ~allowed ())
 
 let make inject = G.Enterprise.make ~seed:42 ~routers:8 ~inject ()
 
@@ -86,7 +90,7 @@ let test_fattree_reachability () =
   let dst_tor = List.hd t.G.Fattree.tors in
   let sources = List.filter (fun x -> x <> dst_tor) t.G.Fattree.tors in
   let dest = MS.Property.Subnet (dst_tor, t.G.Fattree.tor_subnet dst_tor) in
-  let o = MS.Verify.check enc (MS.Property.reachability enc ~sources dest) in
+  let o = verify_check enc (MS.Property.reachability enc ~sources dest) in
   Alcotest.(check bool) "all tors reach" false (violated o)
 
 let test_fattree_bounded_length () =
@@ -95,12 +99,12 @@ let test_fattree_bounded_length () =
   let dst_tor = List.hd t.G.Fattree.tors in
   let sources = List.filter (fun x -> x <> dst_tor) t.G.Fattree.tors in
   let dest = MS.Property.Subnet (dst_tor, t.G.Fattree.tor_subnet dst_tor) in
-  let ok = MS.Verify.check enc (MS.Property.bounded_length enc ~sources dest ~bound:4) in
+  let ok = verify_check enc (MS.Property.bounded_length enc ~sources dest ~bound:4) in
   Alcotest.(check bool) "within 4 hops" false (violated ok);
   (* a 1-hop bound must be violated: tor-agg-tor is already 2 *)
   let enc2 = MS.Encode.build t.G.Fattree.network MS.Options.default in
   let too_tight =
-    MS.Verify.check enc2 (MS.Property.bounded_length enc2 ~sources dest ~bound:1)
+    verify_check enc2 (MS.Property.bounded_length enc2 ~sources dest ~bound:1)
   in
   Alcotest.(check bool) "1 hop impossible" true (violated too_tight)
 
@@ -111,7 +115,7 @@ let test_fattree_filters_block_internal () =
   let dst_tor = List.hd t.G.Fattree.tors in
   let sources = List.filter (fun x -> x <> dst_tor) t.G.Fattree.tors in
   let dest = MS.Property.Subnet (dst_tor, t.G.Fattree.tor_subnet dst_tor) in
-  let o = MS.Verify.check enc (MS.Property.reachability enc ~sources dest) in
+  let o = verify_check enc (MS.Property.reachability enc ~sources dest) in
   Alcotest.(check bool) "no hijack through filters" false (violated o)
 
 let test_fattree_multipath_consistency () =
@@ -119,7 +123,7 @@ let test_fattree_multipath_consistency () =
   let enc = MS.Encode.build t.G.Fattree.network MS.Options.default in
   let dst_tor = List.hd t.G.Fattree.tors in
   let dest = MS.Property.Subnet (dst_tor, t.G.Fattree.tor_subnet dst_tor) in
-  let o = MS.Verify.check enc (MS.Property.multipath_consistency enc dest) in
+  let o = verify_check enc (MS.Property.multipath_consistency enc dest) in
   Alcotest.(check bool) "consistent" false (violated o)
 
 let () =

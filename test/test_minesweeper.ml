@@ -3,6 +3,13 @@
 
 module A = Config.Ast
 module MS = Minesweeper
+
+(* shims over the Query/Report API for the bare outcomes these tests match on *)
+let verify_check enc prop =
+  MS.Verify.Report.to_outcome (MS.Verify.run_query enc (MS.Verify.Query.of_property "query" prop))
+let verify_net net opts make =
+  let enc = MS.Encode.build net opts in
+  MS.Verify.Report.to_outcome (MS.Verify.run_query enc (MS.Verify.Query.v "query" make))
 module T = Smt.Term
 module P = Net.Prefix
 module Ip = Net.Ipv4
@@ -17,13 +24,13 @@ let _outcome_str = function
   | MS.Verify.Violation cx -> "violated:\n" ^ MS.Counterexample.to_string cx
 
 let check_holds msg net opts prop =
-  match MS.Verify.verify net opts prop with
+  match verify_net net opts prop with
   | MS.Verify.Holds -> ()
   | MS.Verify.Violation cx ->
     Alcotest.failf "%s: expected holds, got violation:\n%s" msg (MS.Counterexample.to_string cx)
 
 let check_violated msg net opts prop =
-  match MS.Verify.verify net opts prop with
+  match verify_net net opts prop with
   | MS.Verify.Violation _ -> ()
   | MS.Verify.Holds -> Alcotest.failf "%s: expected violation, got holds" msg
 
@@ -143,7 +150,7 @@ let test_hijack_found () =
 let test_hijack_counterexample_details () =
   let net = parse hijackable in
   let enc = MS.Encode.build net default in
-  match MS.Verify.check enc (MS.Property.reachability enc ~sources:[ "R2" ] mgmt_dest) with
+  match verify_check enc (MS.Property.reachability enc ~sources:[ "R2" ] mgmt_dest) with
   | MS.Verify.Holds -> Alcotest.fail "expected hijack"
   | MS.Verify.Violation cx ->
     (* the counterexample must involve an external announcement covering
@@ -211,7 +218,7 @@ let test_concrete_env_exit () =
         @ [ MS.Packet.dst_in_prefix (MS.Encode.packet enc) (P.of_string "11.0.0.0/8") ];
     }
   in
-  match MS.Verify.check enc prop with
+  match verify_check enc prop with
   | MS.Verify.Holds -> ()
   | MS.Verify.Violation cx ->
     Alcotest.failf "expected exit via peer1:\n%s" (MS.Counterexample.to_string cx)
@@ -237,7 +244,7 @@ let test_differential_reachability () =
           (* no external peers here, so "all environments" is the
              concrete environment *)
           let symbolic =
-            match MS.Verify.check enc prop with MS.Verify.Holds -> true | MS.Verify.Violation _ -> false
+            match verify_check enc prop with MS.Verify.Holds -> true | MS.Verify.Violation _ -> false
           in
           if concrete <> symbolic then
             Alcotest.failf "%s: %s -> %s: simulator=%b minesweeper=%b" name src subnet concrete

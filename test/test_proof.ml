@@ -282,6 +282,8 @@ let test_exit_code_4 () =
       stats = MS.Verify.Report.empty_stats;
       worker = 0;
       strategy = None;
+      support = None;
+      replayed = false;
     }
   in
   let ok = mk "a" MS.Verify.Report.Verified MS.Verify.Report.Checked_model in
@@ -302,7 +304,7 @@ let test_session_fork_guard () =
   let dest = MS.Property.Subnet (dst_tor, ft.G.Fattree.tor_subnet dst_tor) in
   let prop enc = MS.Property.reachability enc ~sources:[ List.nth ft.G.Fattree.tors 1 ] dest in
   (* parent use before the fork is fine *)
-  ignore (MS.Verify.Session.check session (prop (MS.Verify.Session.encoding session)));
+  ignore (MS.Verify.Session.run_one session (MS.Verify.Query.v "pre-fork" prop));
   flush stdout;
   flush stderr;
   (match Unix.fork () with
@@ -310,7 +312,7 @@ let test_session_fork_guard () =
      (* child: the session belongs to the parent; using it must fail
         fast rather than corrupt the shared-by-copy assumption stack *)
      let code =
-       match MS.Verify.Session.check session (prop (MS.Verify.Session.encoding session)) with
+       match MS.Verify.Session.run_one session (MS.Verify.Query.v "post-fork" prop) with
        | exception Invalid_argument _ -> 0
        | exception _ -> 1
        | _ -> 2
@@ -322,7 +324,7 @@ let test_session_fork_guard () =
      | _, Unix.WEXITED 2 -> Alcotest.fail "forked child used the parent's session unguarded"
      | _, _ -> Alcotest.fail "forked child died unexpectedly"));
   (* the parent's session is still usable after the child's attempt *)
-  ignore (MS.Verify.Session.check session (prop (MS.Verify.Session.encoding session)))
+  ignore (MS.Verify.Session.run_one session (MS.Verify.Query.v "post-child" prop))
 
 let () =
   Alcotest.run "proof"

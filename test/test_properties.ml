@@ -16,7 +16,18 @@ let default = MS.Options.default
 
 let violated = function MS.Verify.Violation _ -> true | MS.Verify.Holds -> false
 
-let check net opts prop = MS.Verify.verify net opts prop
+let violated_r (r : MS.Verify.Report.t) =
+  match r.MS.Verify.Report.verdict with
+  | MS.Verify.Report.Violated _ -> true
+  | MS.Verify.Report.Verified -> false
+  | v -> Alcotest.failf "unexpected verdict %s" (MS.Verify.Report.verdict_name v)
+
+let check net opts make =
+  let enc = MS.Encode.build net opts in
+  MS.Verify.Report.to_outcome (MS.Verify.run_query enc (MS.Verify.Query.v "query" make))
+
+let verify_check enc prop =
+  MS.Verify.Report.to_outcome (MS.Verify.run_query enc (MS.Verify.Query.of_property "query" prop))
 
 (* chain R1 - R2 - R3 with a destination subnet on R3 *)
 let chain3 =
@@ -198,7 +209,7 @@ let test_fault_tolerance () =
             MS.Property.reachability enc ~sources:[ "R1" ] dest_r2)));
   (* two failures can cut R1 off *)
   (match
-     MS.Verify.verify net (MS.Options.with_failures 2 default) (fun enc ->
+     check net (MS.Options.with_failures 2 default) (fun enc ->
          MS.Property.reachability enc ~sources:[ "R1" ] dest_r2)
    with
    | MS.Verify.Violation cx ->
@@ -213,15 +224,15 @@ let test_fault_tolerance () =
 
 let test_fault_invariance () =
   Alcotest.(check bool) "triangle invariant" false
-    (violated
+    (violated_r
        (MS.Verify.fault_invariant (parse triangle) default ~k:1 ~sources:[ "R1"; "R3" ] dest_r2));
   Alcotest.(check bool) "chain varies" true
-    (violated (MS.Verify.fault_invariant (parse chain3) default ~k:1 ~sources:[ "R1" ] dest_r3))
+    (violated_r (MS.Verify.fault_invariant (parse chain3) default ~k:1 ~sources:[ "R1" ] dest_r3))
 
 let test_full_equivalence () =
   let net = parse diamond in
   Alcotest.(check bool) "self-equivalent" false
-    (violated (MS.Verify.equivalent net net default));
+    (violated_r (MS.Verify.equivalent net net default));
   (* adding an ACL changes the data plane *)
   let modified =
     parse
@@ -230,7 +241,7 @@ let test_full_equivalence () =
          diamond)
   in
   Alcotest.(check bool) "acl breaks equivalence" true
-    (violated (MS.Verify.equivalent net modified default))
+    (violated_r (MS.Verify.equivalent net modified default))
 
 (* the naive and optimized encodings must agree on verdicts *)
 let test_naive_agreement () =
@@ -330,7 +341,7 @@ let prop_differential =
           MS.Property.reachability enc ~sources:[ src ]
             (MS.Property.Subnet (Printf.sprintf "R%d" dst, subnet))
         in
-        let symbolic = not (violated (MS.Verify.check enc prop)) in
+        let symbolic = not (violated (verify_check enc prop)) in
         if concrete <> symbolic then begin
           QCheck.Test.fail_reportf "seed %d dst R%d: simulator=%b encoder=%b" seed dst concrete
             symbolic

@@ -1,14 +1,12 @@
 (* Differential tests for incremental verification sessions: on
-   generated enterprise and fattree networks, Verify.Session.check_all
-   must produce exactly the verdicts of independent per-query
-   Verify.verify calls, and the counterexamples it decodes must be
+   generated enterprise and fattree networks, Verify.Session.run
+   must produce exactly the verdicts of independent fresh-solver
+   Verify.run_query calls, and the counterexamples it decodes must be
    well-formed forwarding states of the same encoding. *)
 
 module MS = Minesweeper
 module G = Generators
 module A = Config.Ast
-
-let verdict = function MS.Verify.Holds -> "holds" | MS.Verify.Violation _ -> "violated"
 
 (* Every forwarding edge of a decoded counterexample must be a next-hop
    the encoding actually offers (internal edges point at model
@@ -30,8 +28,14 @@ let check_cx_valid enc (cx : MS.Counterexample.t) =
 let differential name net (props : (string * (MS.Encode.t -> MS.Property.t)) list) =
   let opts = MS.Options.default in
   (* Baseline: one fresh encoding and one fresh single-shot solver per
-     query, exactly what a cold Verify.verify does. *)
-  let baseline = List.map (fun (_, make) -> MS.Verify.verify net opts make) props in
+     query — the cold Query/Report path. *)
+  let baseline =
+    List.map
+      (fun (_, make) ->
+        let enc = MS.Encode.build net opts in
+        MS.Verify.Report.to_outcome (MS.Verify.run_query enc (MS.Verify.Query.v "query" make)))
+      props
+  in
   (* Session: one encoding, one incremental solver, all queries —
      driven through the Query/Report surface. *)
   let session = MS.Verify.Session.create net opts in
@@ -147,8 +151,12 @@ let test_session_idempotent () =
     ]
   in
   let session = MS.Verify.Session.create net MS.Options.default in
-  let first = MS.Verify.Session.check_all session props in
-  let second = MS.Verify.Session.check_all session props in
+  let queries = List.mapi (fun i make -> MS.Verify.Query.v (Printf.sprintf "q%d" i) make) props in
+  let verdict (r : MS.Verify.Report.t) =
+    MS.Verify.Report.verdict_name r.MS.Verify.Report.verdict
+  in
+  let first = MS.Verify.Session.run session queries in
+  let second = MS.Verify.Session.run session queries in
   List.iteri
     (fun i (a, b) ->
       if verdict a <> verdict b then

@@ -6,6 +6,10 @@
 
 module A = Config.Ast
 module MS = Minesweeper
+
+(* shims over the Query/Report API for the bare outcomes these tests match on *)
+let verify_check enc prop =
+  MS.Verify.Report.to_outcome (MS.Verify.run_query enc (MS.Verify.Query.of_property "query" prop))
 module G = Generators
 module S = Analysis.Symmetry
 module D = Analysis.Diagnostic
@@ -280,8 +284,8 @@ let opts_off = MS.Options.default
 let differential ~name ~pins net (mk : MS.Encode.t -> MS.Property.t) =
   let enc_off = MS.Encode.build net opts_off in
   let enc_on = MS.Encode.build ~pins net opts_on in
-  let o_off = MS.Verify.check enc_off (mk enc_off) in
-  let o_on = MS.Verify.check enc_on (mk enc_on) in
+  let o_off = verify_check enc_off (mk enc_off) in
+  let o_on = verify_check enc_on (mk enc_on) in
   (match o_on with
    | MS.Verify.Violation cx ->
      (match MS.Counterexample.replay enc_on cx with
