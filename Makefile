@@ -7,16 +7,22 @@
 # has at least 2 cores), the solver-ablation smoke benchmark
 # (all 2^4-grid corners must give identical verdicts; the all-on
 # speedup is additionally gated when the baseline suite is slow
-# enough for the ratio to be signal rather than timer noise), and
+# enough for the ratio to be signal rather than timer noise, and the
+# restart-mode/rephasing strategy grid must agree with the feature
+# baseline everywhere), and
 # the certification smoke benchmark (every verdict of the enterprise
 # and fattree suites must carry a positive certificate — UNSAT proofs
 # replayed through the independent checker, SAT models evaluated and
 # simulated — with zero Uncertified verdicts and verdict agreement
 # against the uncertified pass), and the symmetry-scale smoke
 # benchmark (the quotient encoding must agree with the full encoding
-# on every fat-tree point both modes ran, with the speedup gated
-# above a noise floor; full-mode points past the wall-clock budget
-# are skipped with an explicit label, mirroring the parallel bench's
+# on every fat-tree point both modes ran — as must Ema_lbd vs Luby
+# restarts and the clause-sharing portfolio vs the sharing-off race —
+# with the speedup gated above a noise floor only where symmetry
+# classes actually collapse devices; clause sharing must demonstrably
+# fire on the full encoding, the winner importing at least one
+# clause; full-mode points past the wall-clock budget are skipped
+# with an explicit label, mirroring the parallel bench's
 # skipped_low_cores convention), and the arena smoke benchmark (the
 # SAT core's steady-state propagation loop must allocate ~0 minor
 # words per propagation, all-off and all-on must agree on the hardest

@@ -189,6 +189,12 @@ module Session : sig
   val stats : t -> Smt.Solver.stats
   (** Solver statistics accumulated over all queries of the session. *)
 
+  val solver : t -> Smt.Solver.t
+  (** The session's underlying incremental solver, for clause-sharing
+      hooks ({!Smt.Solver.set_on_restart}, {!Smt.Solver.enable_sharing});
+      portfolio workers wire their exchange through it.  Asserting
+      through it directly would corrupt the session's bookkeeping. *)
+
   val last_support : t -> string list option
   (** Support of the most recent [Verified] check of a
       support-tracking session; [None] otherwise. *)

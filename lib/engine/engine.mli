@@ -60,6 +60,7 @@ val run :
 val portfolio :
   ?timeout:float ->
   ?strategies:(string * Smt.Solver.strategy) list ->
+  ?share:bool ->
   Minesweeper.Encode.t ->
   Verify.Query.t ->
   Verify.Report.t
@@ -69,4 +70,19 @@ val portfolio :
     its [strategy] field naming the winner; the losers are killed.
     Every strategy is sound and complete, so any winner's verdict is
     the query's verdict.  If no racer is decisive (all time out, crash
-    or error), the first-completed indecisive report is returned. *)
+    or error), the first-completed indecisive report is returned.
+
+    [share] (default [true]) turns the race into a cooperating
+    portfolio: each racer exports its low-LBD (glue) learnt clauses at
+    restarts, the parent rebroadcasts them, and the other racers attach
+    them via the solver's import path.  Sharing is sound because every
+    racer solves the {e same} CNF with identical variable numbering
+    (all are forked from one parent after the encoding is built), so a
+    clause learnt by one is a logical consequence of the shared input
+    formula for all; under [--certify] each import is additionally
+    RUP-checked by the importer and logged, keeping proof traces
+    independently checkable (see {!Smt.Solver.import_clause}).  The
+    exchange is best-effort — frames ride the atomic-pipe-write
+    guarantee and are dropped rather than ever blocking the race.
+    The winner's [clauses_imported]/[clauses_exported] stats record
+    the traffic. *)

@@ -37,13 +37,24 @@
 
 let header_words = 3
 
+type restart_mode = Luby | Ema_lbd
+
 type strategy = {
   var_decay : float;
   restart_base : int;
   default_phase : bool;
+  restart_mode : restart_mode;
+  rephase : bool;
 }
 
-let default_strategy = { var_decay = 0.95; restart_base = 100; default_phase = false }
+let default_strategy =
+  {
+    var_decay = 0.95;
+    restart_base = 100;
+    default_phase = false;
+    restart_mode = Luby;
+    rephase = false;
+  }
 
 exception Canceled
 
@@ -144,6 +155,35 @@ type t = {
   mutable proof_on : bool;
   mutable proof_rev : proof_step list;  (* newest first *)
   mutable proof_len : int;
+  (* -- adaptive restarts (Ema_lbd mode) and rephasing -- *)
+  mutable lbd_sum : float;
+      (* cumulative LBD over every learnt clause: [lbd_sum /. conflicts]
+         is the long-run average the short EMA is compared against *)
+  mutable ema_lbd : float;  (* short-horizon EMA of recent learnt-clause LBD *)
+  mutable trail_ema : float;
+      (* slow EMA of the trail size at conflicts; a conflict trail far
+         above it suggests the search is near a model, which blocks the
+         next adaptive restart *)
+  mutable ema_restarts : int;  (* restarts triggered by the LBD EMA *)
+  mutable blocked_restarts : int;  (* adaptive restarts postponed by trail depth *)
+  mutable best_phase : bool array;
+      (* the assignment of the deepest conflict trail seen since the
+         last rephase: a known-good partial model to rebranch towards *)
+  mutable best_trail : int;
+  mutable rephases : int;
+  mutable next_rephase : int;  (* conflict count scheduling the next rephase *)
+  mutable rephase_kind : int;
+  (* -- portfolio clause sharing -- *)
+  mutable share_max_lbd : int;  (* 0 = export collection off *)
+  mutable share_max_len : int;
+  mutable export_rev : int array list;  (* pending exports, newest first *)
+  mutable export_n : int;
+  mutable exported : int;
+  mutable imported : int;
+  mutable on_restart : (unit -> unit) option;
+      (* fired after every restart, at decision level 0 with propagation
+         complete: the safe point where the portfolio engine drains
+         exports and integrates clauses learnt by sibling solvers *)
 }
 
 type result = Sat | Unsat
@@ -208,6 +248,23 @@ let create () =
     proof_on = false;
     proof_rev = [];
     proof_len = 0;
+    lbd_sum = 0.0;
+    ema_lbd = 0.0;
+    trail_ema = 0.0;
+    ema_restarts = 0;
+    blocked_restarts = 0;
+    best_phase = Array.make 16 false;
+    best_trail = 0;
+    rephases = 0;
+    next_rephase = 1000;
+    rephase_kind = 0;
+    share_max_lbd = 0;
+    share_max_len = 0;
+    export_rev = [];
+    export_n = 0;
+    exported = 0;
+    imported = 0;
+    on_restart = None;
   }
 
 let enable_proof s = s.proof_on <- true
@@ -223,6 +280,21 @@ let log_step s step =
 
 let set_strategy s st = s.strategy <- st
 let set_stop s f = s.stop <- f
+let set_on_restart s f = s.on_restart <- f
+
+(* Enable collection of low-LBD learnt clauses for portfolio export
+   ([max_lbd = 0] disables it).  The buffer is bounded; overflow drops
+   new candidates — sharing is best-effort, never backpressure. *)
+let set_share s ~max_lbd ~max_len =
+  s.share_max_lbd <- max_lbd;
+  s.share_max_len <- max_len
+
+let drain_exports s =
+  let out = List.rev s.export_rev in
+  s.export_rev <- [];
+  s.export_n <- 0;
+  s.exported <- s.exported + List.length out;
+  out
 let set_max_learnts s n = s.max_learnts <- float_of_int n
 let set_simplify s b = s.simplify_enabled <- b
 let set_pure_elim s b = s.pure_elim_enabled <- b
@@ -240,6 +312,11 @@ let num_preprocessed s = s.preprocessed
 let num_lbd_deletions s = s.lbd_deletions
 let num_early_sats s = s.early_sats
 let num_compactions s = s.compactions
+let num_ema_restarts s = s.ema_restarts
+let num_blocked_restarts s = s.blocked_restarts
+let num_rephases s = s.rephases
+let num_imported s = s.imported
+let num_exported s = s.exported
 let arena_words s = s.asize
 let arena_wasted_words s = s.awasted
 let minor_words s = s.minor_words
@@ -364,6 +441,7 @@ let new_var s =
   s.level <- grow_array s.level s.nvars 0;
   s.reason <- grow_array s.reason s.nvars (-1);
   s.phase <- grow_array s.phase s.nvars false;
+  s.best_phase <- grow_array s.best_phase s.nvars false;
   s.seen <- grow_array s.seen s.nvars false;
   s.frozen <- grow_array s.frozen s.nvars false;
   s.important <- grow_array s.important s.nvars false;
@@ -380,6 +458,7 @@ let new_var s =
     s.watches <- fresh
   end;
   s.phase.(v) <- s.strategy.default_phase;
+  s.best_phase.(v) <- s.strategy.default_phase;
   heap_insert s v;
   v
 
@@ -428,6 +507,29 @@ let cancel_until s lvl =
     Vec.shrink s.trail_lim lvl;
     s.on_backtrack bound
   end
+
+(* CaDiCaL-style rephasing: periodically overwrite the saved phases the
+   search branches on.  The cycle alternates the best phases (the
+   assignment of the deepest conflict trail seen since the last rephase
+   — a known-good partial model), their inversion (pushing the search
+   into the complement of the space it has been mining), and an
+   untouched slot where plain phase saving keeps whatever it last
+   recorded.  Runs at decision level 0 only (the restart point), so no
+   live assignment is contradicted. *)
+let rephase s =
+  (match s.rephase_kind land 3 with
+   | 0 | 2 -> Array.blit s.best_phase 0 s.phase 0 s.nvars
+   | 1 ->
+     for v = 0 to s.nvars - 1 do
+       s.phase.(v) <- not s.phase.(v)
+     done
+   | _ -> () (* saved: keep the phases exactly as phase saving left them *));
+  s.rephase_kind <- s.rephase_kind + 1;
+  s.rephases <- s.rephases + 1;
+  s.best_trail <- 0;
+  (* widening cadence: early rephases probe cheaply, later ones leave
+     a converging search alone for longer *)
+  s.next_rephase <- s.conflicts + (1000 * (s.rephases + 1))
 
 (* -- activity ------------------------------------------------------------- *)
 
@@ -1155,9 +1257,7 @@ let reduce_db s =
    restarting from scratch: attach it with valid watches and backjump
    just far enough that it is no longer conflicting (then it propagates
    like any learnt clause). *)
-let integrate_clause s lits =
-  let lits = List.sort_uniq compare lits in
-  log_step s (P_lemma (Array.of_list lits));
+let integrate_core s lits =
   (* literals false at level 0 can never help *)
   let lits' =
     List.filter (fun l -> not (lit_value s l = -1 && s.level.(lit_var l) = 0)) lits
@@ -1220,6 +1320,54 @@ let integrate_clause s lits =
         end
       | _ -> assert false
     done
+
+let integrate_clause s lits =
+  let lits = List.sort_uniq compare lits in
+  log_step s (P_lemma (Array.of_list lits));
+  integrate_core s lits
+
+(* Import a clause learnt by a sibling portfolio solver over the same
+   CNF (identical variable numbering — the portfolio engine's
+   invariant).  Any learnt clause is a resolution consequence of the
+   shared input formula, so attaching it can never change a verdict.
+
+   With proof logging on, only clauses the independent checker will
+   accept are admitted: the clause is first verified RUP against *this*
+   solver's clause database by a scratch propagation probe at level 0 —
+   unit propagation closure is unique, so the solver's watched-literal
+   propagation and the checker's counting propagation over the logged
+   active set agree — and then recorded as a [P_rup] step.  A clause
+   that is not locally RUP (its derivation needed sibling-private
+   learnt clauses) is dropped rather than logged unjustifiably.
+   Returns [true] when the clause was attached. *)
+let import_clause s lits =
+  if (not s.ok) || Array.length lits = 0 then false
+  else begin
+    let lits = List.sort_uniq compare (Array.to_list lits) in
+    if List.exists (fun l -> lit_value s l = 1 && s.level.(lit_var l) = 0) lits then
+      (* satisfied at the root: attaching it buys nothing *)
+      false
+    else if not s.proof_on then begin
+      integrate_core s lits;
+      s.imported <- s.imported + 1;
+      true
+    end
+    else begin
+      cancel_until s 0;
+      (* scratch decision level asserting the clause's negation *)
+      Vec.push s.trail_lim (Vec.size s.trail);
+      List.iter (fun l -> if lit_value s l = 0 then enqueue s (lit_neg l) (-1)) lits;
+      let confl = propagate s in
+      cancel_until s 0;
+      if confl >= 0 then begin
+        log_step s (P_rup (Array.of_list lits));
+        integrate_core s lits;
+        s.imported <- s.imported + 1;
+        true
+      end
+      else false
+    end
+  end
 
 (* -- final conflict analysis (assumptions) ---------------------------------- *)
 
@@ -1341,6 +1489,20 @@ let decide s =
     true
   end
 
+(* Collect a freshly learnt clause for portfolio export: short,
+   low-LBD clauses only, into a bounded buffer the engine drains at
+   restarts.  Glue is a quality signal here exactly as it is for
+   clause-database reduction: a low-LBD clause prunes with few decision
+   levels' worth of context, so it transfers across solvers. *)
+let export_learnt s lits glue =
+  if s.share_max_lbd > 0 && glue <= s.share_max_lbd && s.export_n < 256 then begin
+    let arr = Array.of_list lits in
+    if Array.length arr <= s.share_max_len then begin
+      s.export_rev <- arr :: s.export_rev;
+      s.export_n <- s.export_n + 1
+    end
+  end
+
 (* Cooperative cancellation point: when the stop hook fires, abandon
    the search at level 0 (keeping all learnt clauses — they were derived
    from the clause database alone, so a later solve may reuse them). *)
@@ -1400,6 +1562,18 @@ let solve_body ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
       incr conflicts_since_restart;
       incr steps;
       if !steps land 255 = 0 then poll_stop s;
+      (* restart-scheduling signals, read at conflict time: the trail
+         EMA feeds restart blocking; in rephase mode the deepest trail
+         seen snapshots its assignment as the best phases *)
+      let tsize = Vec.size s.trail in
+      s.trail_ema <- s.trail_ema +. (0.000244140625 *. (float_of_int tsize -. s.trail_ema));
+      if s.strategy.rephase && tsize > s.best_trail then begin
+        s.best_trail <- tsize;
+        for i = 0 to tsize - 1 do
+          let l = Vec.get s.trail i in
+          s.best_phase.(lit_var l) <- lit_sign l
+        done
+      end;
       if decision_level s = 0 then begin
         s.ok <- false;
         log_step s (P_rup [||]);
@@ -1407,6 +1581,9 @@ let solve_body ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
       end
       else begin
         let learnt, blevel = analyze s confl in
+        let glue = compute_lbd s learnt in
+        s.lbd_sum <- s.lbd_sum +. float_of_int glue;
+        s.ema_lbd <- s.ema_lbd +. (0.03125 *. (float_of_int glue -. s.ema_lbd));
         log_step s (P_rup (Array.of_list learnt));
         cancel_until s blevel;
         (match learnt with
@@ -1414,12 +1591,13 @@ let solve_body ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
          | [ l ] -> enqueue s l (-1)
          | l :: _ ->
            let c = alloc_clause s (Array.of_list learnt) true in
-           c_set_lbd s c (compute_lbd s learnt);
+           c_set_lbd s c glue;
            cla_bump s c;
            s.learnts_made <- s.learnts_made + 1;
            Vec.push s.learnts c;
            attach s c;
            enqueue s l c);
+        export_learnt s learnt glue;
         var_decay s;
         cla_decay s
       end
@@ -1435,12 +1613,45 @@ let solve_body ?(assumptions = []) ?(final_check = fun (_ : t) -> [])
         List.iter (fun c -> integrate_clause s c) conflict_clauses;
         if not s.ok then answer := Some Unsat
     end
-    else if !conflicts_since_restart >= !restart_limit then begin
-      incr restart_num;
-      s.restarts <- s.restarts + 1;
-      conflicts_since_restart := 0;
-      restart_limit := s.strategy.restart_base * luby !restart_num;
-      cancel_until s 0
+    else if
+      (match s.strategy.restart_mode with
+       | Luby -> !conflicts_since_restart >= !restart_limit
+       | Ema_lbd ->
+         (* Glucose-style adaptive restarts: when the short-horizon LBD
+            average runs hot against the long-run average, the clauses
+            this orbit is learning are poor — restart and rebranch. *)
+         !conflicts_since_restart >= 50
+         && s.conflicts > 0
+         && s.ema_lbd *. 0.8 > s.lbd_sum /. float_of_int s.conflicts)
+    then begin
+      if
+        s.strategy.restart_mode = Ema_lbd
+        && s.conflicts > 5000
+        && float_of_int (Vec.size s.trail) > 1.4 *. s.trail_ema
+      then begin
+        (* restart blocking: the trail is unusually deep for this
+           search, i.e. it looks close to a satisfying assignment —
+           postpone the restart rather than discard the progress *)
+        s.blocked_restarts <- s.blocked_restarts + 1;
+        conflicts_since_restart := 0
+      end
+      else begin
+        incr restart_num;
+        s.restarts <- s.restarts + 1;
+        if s.strategy.restart_mode = Ema_lbd then
+          s.ema_restarts <- s.ema_restarts + 1;
+        conflicts_since_restart := 0;
+        restart_limit := s.strategy.restart_base * luby !restart_num;
+        cancel_until s 0;
+        if s.strategy.rephase && s.conflicts >= s.next_rephase then rephase s;
+        (* the portfolio tick: export learnt clauses, import siblings'.
+           Level 0, propagation complete — imports attach cleanly. *)
+        (match s.on_restart with
+         | Some f ->
+           f ();
+           if not s.ok then answer := Some Unsat
+         | None -> ())
+      end
     end
     else begin
       match pick_assumption () with

@@ -270,6 +270,167 @@ let test_pure_literal_theory_atom () =
        (Smt.Model.int_value m y)
    | Smt.Solver.Unsat -> Alcotest.fail "satisfiable: p true, x = y")
 
+(* -- restart and phase scheduling: strategy differential ------------------- *)
+
+(* The four restart-mode x rephasing corners.  Like the feature grid,
+   every corner is sound and complete: identical verdicts, valid
+   counterexamples. *)
+let strategy_combos =
+  let d = Smt.Solver.default_strategy in
+  [
+    ("luby", { d with Smt.Solver.restart_mode = Smt.Solver.Luby; rephase = false });
+    ("luby+rephase", { d with Smt.Solver.restart_mode = Smt.Solver.Luby; rephase = true });
+    ("ema", { d with Smt.Solver.restart_mode = Smt.Solver.Ema_lbd; rephase = false });
+    ("ema+rephase", { d with Smt.Solver.restart_mode = Smt.Solver.Ema_lbd; rephase = true });
+  ]
+
+let strategy_grid name net (props : (string * (MS.Encode.t -> MS.Property.t)) list) =
+  let run strategy =
+    let opts = MS.Options.with_strategy strategy MS.Options.default in
+    let enc = MS.Encode.build net opts in
+    ( enc,
+      List.map
+        (fun (pname, make) -> (pname, MS.Verify.run_query enc (MS.Verify.Query.v pname make)))
+        props )
+  in
+  match strategy_combos with
+  | [] -> assert false
+  | (_, first) :: _ ->
+    let _, baseline = run first in
+    List.iter
+      (fun (cname, strategy) ->
+        let enc, reports = run strategy in
+        List.iter2
+          (fun (pname, (base : MS.Verify.Report.t)) (_, (r : MS.Verify.Report.t)) ->
+            let basev = MS.Verify.Report.verdict_name base.MS.Verify.Report.verdict in
+            let rv = MS.Verify.Report.verdict_name r.MS.Verify.Report.verdict in
+            if basev <> rv then
+              Alcotest.failf "%s/%s on %s: %s vs baseline %s" name cname pname rv basev;
+            match r.MS.Verify.Report.verdict with
+            | MS.Verify.Report.Violated cx ->
+              check_cx_valid (name ^ "/" ^ cname ^ "/" ^ pname) enc cx
+            | _ -> ())
+          baseline reports)
+      strategy_combos
+
+let test_enterprise_strategy_grid () =
+  let t =
+    G.Enterprise.make ~seed:5 ~routers:8
+      ~inject:{ G.Enterprise.hijack = true; acl_gap = false; deep_drop = false }
+      ()
+  in
+  let net = t.G.Enterprise.network in
+  let devices = List.map (fun (d : A.device) -> d.A.dev_name) net.A.net_devices in
+  let target = List.hd (List.rev devices) in
+  let mgmt_dest = MS.Property.Subnet (target, t.G.Enterprise.mgmt_prefix target) in
+  strategy_grid "enterprise" net
+    [
+      ("mgmt-reachability", fun enc -> MS.Property.reachability enc ~sources:devices mgmt_dest);
+      ("no-loops", fun enc -> MS.Property.no_loops enc ());
+    ]
+
+let test_fattree_strategy_grid () =
+  let ft = G.Fattree.make ~pods:2 in
+  let net = ft.G.Fattree.network in
+  let dst_tor = List.hd ft.G.Fattree.tors in
+  let other_tors = List.filter (fun t -> t <> dst_tor) ft.G.Fattree.tors in
+  let dest = MS.Property.Subnet (dst_tor, ft.G.Fattree.tor_subnet dst_tor) in
+  strategy_grid "fattree" net
+    [
+      ( "all-tor-reachability",
+        fun enc -> MS.Property.reachability enc ~sources:other_tors dest );
+      ( "isolation-should-fail",
+        fun enc -> MS.Property.isolation enc ~sources:[ List.hd other_tors ] dest );
+    ]
+
+(* Pigeonhole: n+1 pigeons into n holes.  Unsatisfiable with an
+   exponential resolution lower bound — the cheapest way to force
+   thousands of conflicts (hence restarts, rephases and low-LBD learnt
+   clauses) out of a few dozen variables. *)
+let add_pigeonhole s n =
+  let var = Array.init (n + 1) (fun _ -> Array.init n (fun _ -> Smt.Sat.new_var s)) in
+  for p = 0 to n do
+    Smt.Sat.add_clause s (List.init n (fun h -> Smt.Sat.pos_lit var.(p).(h)))
+  done;
+  for h = 0 to n - 1 do
+    for p1 = 0 to n do
+      for p2 = p1 + 1 to n do
+        Smt.Sat.add_clause s [ Smt.Sat.neg_lit var.(p1).(h); Smt.Sat.neg_lit var.(p2).(h) ]
+      done
+    done
+  done
+
+(* The adaptive machinery must actually engage on a conflict-heavy
+   instance: EMA-triggered restarts, at least one blocked restart or
+   none (blocking needs 5000+ conflicts; don't demand it), and
+   rephasing on its widening cadence. *)
+let test_ema_rephase_engage () =
+  let s = Smt.Sat.create () in
+  Smt.Sat.set_strategy s
+    { Smt.Sat.default_strategy with Smt.Sat.restart_mode = Smt.Sat.Ema_lbd; rephase = true };
+  Smt.Sat.set_lbd s true;
+  add_pigeonhole s 7;
+  (match Smt.Sat.solve s with
+   | Smt.Sat.Unsat -> ()
+   | Smt.Sat.Sat -> Alcotest.fail "pigeonhole 8->7 must be unsat");
+  if Smt.Sat.num_conflicts s < 1000 then
+    Alcotest.failf "expected a conflict-heavy run, got %d conflicts" (Smt.Sat.num_conflicts s);
+  if Smt.Sat.num_ema_restarts s = 0 then
+    Alcotest.fail "Ema_lbd mode performed no EMA-triggered restart";
+  if Smt.Sat.num_rephases s = 0 then Alcotest.fail "rephasing never fired"
+
+(* -- clause sharing: export, certified import ------------------------------ *)
+
+(* Exporter A and importer B solve the same CNF (identical variable
+   numbering).  A's exported low-LBD clauses import into B with proof
+   logging on; B's trace — inputs, P_rup imports, its own learnt
+   clauses — must then replay through the independent checker.  This is
+   the single-process version of the portfolio exchange, deterministic
+   enough for CI. *)
+let test_sharing_certified () =
+  let a = Smt.Sat.create () in
+  Smt.Sat.set_lbd a true;
+  Smt.Sat.set_share a ~max_lbd:8 ~max_len:30;
+  add_pigeonhole a 7;
+  (match Smt.Sat.solve a with
+   | Smt.Sat.Unsat -> ()
+   | Smt.Sat.Sat -> Alcotest.fail "exporter: pigeonhole must be unsat");
+  let exported = Smt.Sat.drain_exports a in
+  if exported = [] then Alcotest.fail "exporter produced no shareable clauses";
+  Alcotest.(check int) "exported counter" (List.length exported) (Smt.Sat.num_exported a);
+  let b = Smt.Sat.create () in
+  Smt.Sat.enable_proof b;
+  Smt.Sat.set_lbd b true;
+  add_pigeonhole b 7;
+  let accepted =
+    List.fold_left (fun k c -> if Smt.Sat.import_clause b c then k + 1 else k) 0 exported
+  in
+  if accepted = 0 then Alcotest.fail "no exported clause was RUP for the importer";
+  Alcotest.(check int) "imported counter" accepted (Smt.Sat.num_imported b);
+  (match Smt.Sat.solve b with
+   | Smt.Sat.Unsat -> ()
+   | Smt.Sat.Sat -> Alcotest.fail "importer: pigeonhole must be unsat");
+  match Proof.Checker.run ~goal:Proof.Checker.Empty (Smt.Sat.proof_steps b) with
+  | Ok summary ->
+    if summary.Proof.Checker.rup_checked < accepted then
+      Alcotest.failf "checker confirmed %d RUP steps, expected at least the %d imports"
+        summary.Proof.Checker.rup_checked accepted
+  | Error msg -> Alcotest.failf "importer trace rejected: %s" msg
+
+(* A clause that is NOT a consequence must be refused by the certified
+   import path (and accepted blindly with proof off — the caller owns
+   provenance there, exactly like [P_input]). *)
+let test_import_non_rup_dropped () =
+  let b = Smt.Sat.create () in
+  Smt.Sat.enable_proof b;
+  let x = Smt.Sat.new_var b in
+  let y = Smt.Sat.new_var b in
+  Smt.Sat.add_clause b [ Smt.Sat.pos_lit x; Smt.Sat.pos_lit y ];
+  (* [x] alone is not RUP: negating it propagates nothing contradictory *)
+  if Smt.Sat.import_clause b [| Smt.Sat.pos_lit x |] then
+    Alcotest.fail "non-RUP import accepted under proof logging";
+  Alcotest.(check int) "nothing imported" 0 (Smt.Sat.num_imported b)
+
 let () =
   Alcotest.run "solver-features"
     [
@@ -277,6 +438,18 @@ let () =
         [
           Alcotest.test_case "enterprise 16 combos" `Quick test_enterprise_grid;
           Alcotest.test_case "fattree 16 combos" `Quick test_fattree_grid;
+        ] );
+      ( "strategy-grid",
+        [
+          Alcotest.test_case "enterprise restart x rephase" `Quick
+            test_enterprise_strategy_grid;
+          Alcotest.test_case "fattree restart x rephase" `Quick test_fattree_strategy_grid;
+          Alcotest.test_case "ema + rephase engage" `Quick test_ema_rephase_engage;
+        ] );
+      ( "sharing",
+        [
+          Alcotest.test_case "certified import round-trip" `Quick test_sharing_certified;
+          Alcotest.test_case "non-RUP import dropped" `Quick test_import_non_rup_dropped;
         ] );
       ( "pure-literals",
         [
