@@ -32,9 +32,14 @@
 # churn via core-disjoint verdict replay must agree with cold full
 # re-verification on every step, show non-zero replay and cache-hit
 # counters, and be at least 2x faster than the cold path when the
-# diff touches <= 20% of the devices).
+# diff touches <= 20% of the devices), and the fault smoke benchmark
+# (the hybrid graph-min-cut/SMT race must agree with the two-copy SMT
+# encoding alone on every <=k-failure query of both generators, the
+# graph fast path must decide at least one query, and the hybrid must
+# be at least 2x faster than SMT on the graph-decided subset above a
+# noise floor).
 
-.PHONY: all build test lint fuzz coverage bench-smoke bench-parallel-smoke bench-solver-smoke certify-smoke bench-scale-smoke bench-arena-smoke bench-serve-smoke check clean
+.PHONY: all build test lint fuzz coverage bench-smoke bench-parallel-smoke bench-solver-smoke certify-smoke bench-scale-smoke bench-arena-smoke bench-serve-smoke bench-fault-smoke check clean
 
 all: build
 
@@ -96,7 +101,10 @@ bench-arena-smoke: build
 bench-serve-smoke: build
 	dune exec bench/main.exe -- serve --smoke
 
-check: build test lint bench-smoke bench-parallel-smoke bench-solver-smoke certify-smoke bench-scale-smoke bench-arena-smoke bench-serve-smoke
+bench-fault-smoke: build
+	dune exec bench/main.exe -- fault --smoke
+
+check: build test lint bench-smoke bench-parallel-smoke bench-solver-smoke certify-smoke bench-scale-smoke bench-arena-smoke bench-serve-smoke bench-fault-smoke
 
 clean:
 	dune clean

@@ -67,10 +67,18 @@
                  agreement is always gated; --smoke additionally gates
                  non-zero replay/cache-hit counters and a 2x speedup
                  floor for diffs touching <= 20% of the devices
+     fault       <=k-failure invariance (k in {1,2,3}) on both
+                 generators, answered twice: the hybrid engine (graph
+                 min-cut fast path racing the two-copy SMT encoding)
+                 vs the SMT encoding alone; writes BENCH_fault.json.
+                 Cross-path verdict agreement is always gated;
+                 --smoke additionally gates the graph path deciding
+                 at least one query and a 2x hybrid speedup on the
+                 graph-decided subset above a noise floor
      micro       Bechamel micro-benchmarks of the SMT substrate
      all         everything above
 
-   Usage: dune exec bench/main.exe -- [fig7|fig8|opts|violations|batch|parallel|solver|certify|scale|arena|serve|micro|all] [--full|--smoke] [--resume]
+   Usage: dune exec bench/main.exe -- [fig7|fig8|opts|violations|batch|parallel|solver|certify|scale|arena|serve|fault|micro|all] [--full|--smoke] [--resume]
 
    By default the expensive sweeps are subsampled so the whole harness
    finishes in minutes; pass --full for the complete paper-scale runs
@@ -212,7 +220,9 @@ let fig7 () =
 (* ---------------- §8.1 violation counts ---------------- *)
 
 let violations () =
-  print_endline "== Violations across the 152-network fleet (paper: 67 / 29 / 24 / 0) ==";
+  print_endline
+    "== Violations across the 152-network fleet (paper: 67 / 29 / 24 / 0; fleet adds 16 \
+     injected single-homed racks) ==";
   let fleet = G.Enterprise.fleet () in
   let hijacks = ref 0 and equivs = ref 0 and holes = ref 0 and fault = ref 0 in
   let checked_fi = ref 0 in
@@ -236,8 +246,10 @@ let violations () =
   Printf.printf "  management-interface hijacks : %d (paper: 67)\n" !hijacks;
   Printf.printf "  local-equivalence violations : %d (paper: 29)\n" !equivs;
   Printf.printf "  blackhole violations         : %d (paper: 24)\n" !holes;
-  Printf.printf "  fault-invariance violations  : %d of %d checked (paper: 0)\n%!" !fault
-    !checked_fi
+  Printf.printf
+    "  fault-invariance violations  : %d of %d checked (fleet injects 16 single-homed racks; \
+     paper found 0)\n%!"
+    !fault !checked_fi
 
 (* ---------------- Figure 8: folded-Clos sweep ---------------- *)
 
@@ -1937,6 +1949,157 @@ let serve_bench ~smoke () =
     else Printf.printf "   smoke OK: verdicts agree, %d replays, delta %.2fx\n%!" replays speedup
   end
 
+(* ---------------- fault: k-failure invariance, hybrid vs SMT ---------------- *)
+
+(* Every query is answered twice: by [Faults.hybrid] (the graph min-cut
+   fast path racing the two-copy SMT encoding inside the portfolio) and
+   by the two-copy SMT encoding alone.  Cross-path verdict agreement is
+   the differential gate; the speedup gate only counts the subset the
+   graph path actually decided, because that is the only subset where
+   the fast path can claim credit. *)
+let fault_bench ~smoke () =
+  print_endline "== fault: <=k-failure invariance, hybrid (graph + SMT race) vs SMT alone ==";
+  let ks = [ 1; 2; 3 ] in
+  let pods_list = if !full then [ 2; 4; 6 ] else [ 2; 4 ] in
+  let fattree_cases =
+    List.concat_map
+      (fun pods ->
+        let ft = G.Fattree.make ~pods in
+        let net = ft.G.Fattree.network in
+        let devices = List.map (fun (d : A.device) -> d.A.dev_name) net.A.net_devices in
+        let case ?(suffix = "") dst ks =
+          ( Printf.sprintf "fattree-pods%d%s" pods suffix,
+            net,
+            devices,
+            MS.Property.Subnet (dst, ft.G.Fattree.tor_subnet dst),
+            ks )
+        in
+        let primary = case (List.hd ft.G.Fattree.tors) ks in
+        (* a second destination ToR at k=1 for the larger fabrics: the
+           invariant holds there (min-cut 2 > 1), which is the expensive
+           UNSAT side of the SMT encoding and the cheap side of the
+           graph path *)
+        match List.rev ft.G.Fattree.tors with
+        | last :: _ when pods >= 4 -> [ primary; case ~suffix:"-torB" last [ 1 ] ]
+        | _ -> [ primary ])
+      pods_list
+  in
+  let enterprise_cases =
+    (* OSPF-internal networks are ineligible for the graph path by
+       design, so these rows exercise the fall-back-to-SMT leg of the
+       race; k is capped in smoke mode because each verdict is solved
+       twice on a doubled encoding. *)
+    List.map
+      (fun (label, inject) ->
+        let t = G.Enterprise.make ~seed:7 ~routers:6 ~inject () in
+        let net = t.G.Enterprise.network in
+        let devices = List.map (fun (d : A.device) -> d.A.dev_name) net.A.net_devices in
+        let target = List.hd (List.rev t.G.Enterprise.rack_role) in
+        ( label,
+          net,
+          devices,
+          MS.Property.Subnet (target, t.G.Enterprise.rack_subnet target),
+          if !full then ks else [ 1 ] ))
+      [
+        ("enterprise-clean", G.Enterprise.no_bugs);
+        ("enterprise-single-homed", { G.Enterprise.no_bugs with G.Enterprise.single_homed = true });
+      ]
+  in
+  let cases = fattree_cases @ enterprise_cases in
+  let rows = ref [] in
+  let agree_all = ref true in
+  let graph_decided = ref 0 in
+  let g_smt = ref 0.0 and g_hyb = ref 0.0 in
+  List.iter
+    (fun (name, net, sources, dest, ks) ->
+      List.iter
+        (fun k ->
+          let hr, hyb_ms =
+            time (fun () -> Faults.hybrid net MS.Options.default ~k ~sources dest)
+          in
+          let sr, smt_ms =
+            time (fun () -> MS.Verify.fault_invariant net MS.Options.default ~k ~sources dest)
+          in
+          let hv = MS.Verify.Report.verdict_name hr.MS.Verify.Report.verdict in
+          let sv = MS.Verify.Report.verdict_name sr.MS.Verify.Report.verdict in
+          let agree = hv = sv in
+          if not agree then agree_all := false;
+          let meth =
+            match hr.MS.Verify.Report.method_ with
+            | Some m -> MS.Verify.Report.method_name m
+            | None -> "?"
+          in
+          if meth = "graph" then begin
+            incr graph_decided;
+            g_smt := !g_smt +. smt_ms;
+            g_hyb := !g_hyb +. hyb_ms
+          end;
+          Printf.printf "   %-26s k=%d %-9s [%-8s] hybrid %8.1f ms vs smt %8.1f ms%s\n%!" name k
+            hv meth hyb_ms smt_ms
+            (if agree then "" else "  ** VERDICTS DIVERGE **");
+          rows := (name, k, hv, sv, meth, hyb_ms, smt_ms, agree) :: !rows)
+        ks)
+    cases;
+  let speedup = if !g_hyb > 0.0 then !g_smt /. !g_hyb else 0.0 in
+  Printf.printf
+    "   totals: %d queries, %d graph-decided; on that subset hybrid %.1f ms vs smt %.1f ms \
+     (%.1fx)\n%!"
+    (List.length !rows) !graph_decided !g_hyb !g_smt speedup;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"schema\": 2,\n  \"benchmark\": \"fault\",\n";
+  Buffer.add_string buf "  \"rows\": [\n";
+  let n = List.length !rows in
+  List.iteri
+    (fun i (name, k, hv, sv, meth, hyb_ms, smt_ms, agree) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"network\": \"%s\", \"k\": %d, \"verdict\": \"%s\", \"verdict_smt\": \"%s\", \
+            \"method\": \"%s\", \"hybrid_ms\": %.2f, \"smt_ms\": %.2f, \"verdicts_agree\": %b \
+            }%s\n"
+           name k hv sv meth hyb_ms smt_ms agree
+           (if i = n - 1 then "" else ",")))
+    (List.rev !rows);
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf (Printf.sprintf "  \"queries\": %d,\n" n);
+  Buffer.add_string buf (Printf.sprintf "  \"graph_decided\": %d,\n" !graph_decided);
+  Buffer.add_string buf (Printf.sprintf "  \"graph_subset_hybrid_ms\": %.2f,\n" !g_hyb);
+  Buffer.add_string buf (Printf.sprintf "  \"graph_subset_smt_ms\": %.2f,\n" !g_smt);
+  Buffer.add_string buf (Printf.sprintf "  \"graph_subset_speedup\": %.3f,\n" speedup);
+  Buffer.add_string buf (Printf.sprintf "  \"verdicts_agree\": %b\n}\n" !agree_all);
+  let oc = open_out "BENCH_fault.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_endline "   wrote BENCH_fault.json";
+  (* the differential gate is unconditional: the graph fast path must be
+     observationally identical to the SMT encoding *)
+  if not !agree_all then begin
+    prerr_endline "bench fault: hybrid and SMT-only verdicts diverge";
+    exit 1
+  end;
+  if smoke then begin
+    if !graph_decided = 0 then begin
+      prerr_endline "bench-fault-smoke: the graph fast path decided no query";
+      exit 1
+    end;
+    (* same noise-floor convention as the other smokes: the 2x floor is
+       only meaningful when the SMT side costs enough to measure *)
+    let floor_ms = 50.0 in
+    let target = 2.0 in
+    if !g_smt >= floor_ms && speedup < target then begin
+      Printf.eprintf "bench-fault-smoke: hybrid %.2fx below the %.1fx floor (smt %.1f ms)\n"
+        speedup target !g_smt;
+      exit 1
+    end;
+    if !g_smt < floor_ms then
+      Printf.printf
+        "   (speedup gate skipped: graph-decided SMT total %.1f ms under the %.0f ms floor — \
+         agreement and coverage gates still enforced)\n%!"
+        !g_smt floor_ms
+    else
+      Printf.printf "   smoke OK: verdicts agree, %d graph-decided, hybrid %.2fx\n%!"
+        !graph_decided speedup
+  end
+
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
 let micro () =
@@ -2031,6 +2194,7 @@ let () =
    | "scale" -> scale ~smoke ~resume ()
    | "arena" -> arena_bench ~smoke ()
    | "serve" -> serve_bench ~smoke ()
+   | "fault" -> fault_bench ~smoke ()
    | "all" ->
      fig7 ();
      print_newline ();
@@ -2054,10 +2218,12 @@ let () =
      print_newline ();
      serve_bench ~smoke ();
      print_newline ();
+     fault_bench ~smoke ();
+     print_newline ();
      micro ()
    | other ->
      Printf.eprintf
-       "unknown benchmark %s (fig7|fig8|opts|violations|batch|parallel|solver|certify|scale|arena|serve|micro|all)\n"
+       "unknown benchmark %s (fig7|fig8|opts|violations|batch|parallel|solver|certify|scale|arena|serve|fault|micro|all)\n"
        other;
      exit 2);
   Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

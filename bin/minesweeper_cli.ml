@@ -53,6 +53,7 @@ let verify_cmd =
                  ("acl-equivalence", `Acl_equiv);
                  ("local-equivalence", `Local_equiv);
                  ("no-leak", `Leak);
+                 ("fault-invariance", `Fault);
                ])
           `Reachability
       & info [ "property"; "p" ] ~doc:"Property to verify.")
@@ -73,6 +74,17 @@ let verify_cmd =
   let max_len = Arg.(value & opt int 24 & info [ "max-len" ] ~doc:"Max exported length for no-leak.") in
   let failures =
     Arg.(value & opt (some int) None & info [ "failures"; "k" ] ~doc:"Verify under up to $(docv) link failures.")
+  in
+  let max_failures =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-failures" ] ~docv:"K"
+          ~doc:
+            "With $(b,--property fault-invariance): sweep k = 1..$(docv), one report per k. \
+             Each k races the graph fast path (min-cut over the simulator's converged \
+             forwarding) against the SMT strategy portfolio; the report's $(b,method) field \
+             records which path answered (graph, smt, or fallback).")
   in
   let naive = Arg.(value & flag & info [ "naive" ] ~doc:"Disable the optimizations of \xc2\xa76.") in
   let slice =
@@ -156,12 +168,104 @@ let verify_cmd =
              $(b,--failures)); ignored for $(b,--batch all-pairs), where every destination \
              must stay concrete.")
   in
-  let run file property sources dst_device dst_prefix bound devices max_len failures naive slice
-        no_lint allowed batch jobs timeout portfolio format certify symmetry =
+  let run file property sources dst_device dst_prefix bound devices max_len failures
+        max_failures naive slice no_lint allowed batch jobs timeout portfolio format certify
+        symmetry =
     let net = load_network file in
     let opts = opts_of ~slice naive failures in
     let opts = if no_lint then { opts with MS.Options.preflight_lint = false } else opts in
     let opts = if certify then MS.Options.with_certify opts else opts in
+    (* shared tail: render a report suite and exit with its code *)
+    let finish t0 (reports : MS.Verify.Report.t list) =
+      let total_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let code = MS.Verify.Report.exit_code reports in
+      (match format with
+       | `Json -> print_endline (MS.Verify.Report.list_to_json reports)
+       | `Text ->
+         let count p = List.length (List.filter p reports) in
+         List.iter
+           (fun (r : MS.Verify.Report.t) ->
+             let display =
+               match r.MS.Verify.Report.verdict with
+               | MS.Verify.Report.Verified -> "verified"
+               | MS.Verify.Report.Violated _ -> "VIOLATED"
+               | MS.Verify.Report.Timeout -> "TIMEOUT"
+               | MS.Verify.Report.Error _ -> "ERROR"
+             in
+             let meth_tag =
+               match r.MS.Verify.Report.method_ with
+               | Some m -> Printf.sprintf "  [%s]" (MS.Verify.Report.method_name m)
+               | None -> ""
+             in
+             let tag =
+               match r.MS.Verify.Report.strategy with
+               | Some s when meth_tag = Printf.sprintf "  [%s]" s -> ""
+               | Some s -> Printf.sprintf "  [%s]" s
+               | None ->
+                 if r.MS.Verify.Report.worker > 0 then
+                   Printf.sprintf "  [w%d]" r.MS.Verify.Report.worker
+                 else ""
+             in
+             let cert_tag =
+               match r.MS.Verify.Report.certificate with
+               | MS.Verify.Report.Uncertified -> ""
+               | MS.Verify.Report.Checked_unsat_proof { clauses; lemmas; _ } ->
+                 Printf.sprintf "  [proof: %d clauses, %d lemmas]" clauses lemmas
+               | MS.Verify.Report.Checked_model -> "  [model replayed]"
+               | MS.Verify.Report.Certification_failed _ -> "  [CERTIFICATION FAILED]"
+             in
+             Printf.printf "  %-36s %-9s %8.1f ms%s%s%s\n%!" r.MS.Verify.Report.label display
+               r.MS.Verify.Report.wall_ms meth_tag tag cert_tag;
+             (match r.MS.Verify.Report.certificate with
+              | MS.Verify.Report.Certification_failed msg ->
+                Printf.printf "    certification: %s\n" msg
+              | _ -> ());
+             match r.MS.Verify.Report.verdict with
+             | MS.Verify.Report.Violated cx -> print_string (MS.Counterexample.to_string cx)
+             | MS.Verify.Report.Error e -> Printf.printf "    error: %s\n" e
+             | _ -> ())
+           reports;
+         let is v (r : MS.Verify.Report.t) =
+           MS.Verify.Report.verdict_name r.MS.Verify.Report.verdict = v
+         in
+         Printf.printf "%d queries in %.1f ms (%d verified, %d violated, %d timeout, %d error)\n"
+           (List.length reports) total_ms (count (is "verified")) (count (is "violated"))
+           (count (is "timeout")) (count (is "error")));
+      exit code
+    in
+    (* fault-invariance sweeps build their own two-copy encodings per k
+       and race the graph fast path inside the portfolio, so they skip
+       the shared-encoding pipeline below *)
+    (match property with
+     | `Fault ->
+       if batch <> None then begin
+         prerr_endline "--property fault-invariance cannot be combined with --batch";
+         exit 2
+       end;
+       let all_devices =
+         List.map (fun (d : Config.Ast.device) -> d.Config.Ast.dev_name)
+           net.Config.Ast.net_devices
+       in
+       let sources = if sources = [] then all_devices else sources in
+       let dest =
+         match (dst_device, dst_prefix) with
+         | Some d, Some p -> MS.Property.Subnet (d, Net.Prefix.of_string p)
+         | Some d, None -> MS.Property.Device d
+         | None, _ ->
+           prerr_endline "missing --dst-device";
+           exit 2
+       in
+       let ks =
+         match max_failures with
+         | Some kmax when kmax >= 1 -> List.init kmax (fun i -> i + 1)
+         | Some _ ->
+           prerr_endline "--max-failures must be at least 1";
+           exit 2
+         | None -> [ (match failures with Some k -> max k 0 | None -> 1) ]
+       in
+       let t0 = Unix.gettimeofday () in
+       finish t0 (List.map (fun k -> Faults.hybrid ?timeout net opts ~k ~sources dest) ks)
+     | _ -> ());
     let symmetry =
       if symmetry && (match batch with Some names -> List.mem "all-pairs" names | None -> false)
       then begin
@@ -235,6 +339,10 @@ let verify_cmd =
         let d1, d2 = pair_or_exit () in
         [ ("local-equivalence", fun enc -> MS.Property.local_equivalence enc d1 d2) ]
       | `Leak -> [ ("no-leak", fun enc -> MS.Property.no_leak enc ~max_len) ]
+      | `Fault ->
+        (* handled by the early branch above; batch names reach here *)
+        prerr_endline "fault-invariance cannot run over a shared batch encoding";
+        exit 2
       | `All_pairs ->
         List.filter_map
           (fun d ->
@@ -258,6 +366,7 @@ let verify_cmd =
       | "acl-equivalence" -> `Acl_equiv
       | "local-equivalence" -> `Local_equiv
       | "no-leak" -> `Leak
+      | "fault-invariance" -> `Fault
       | "all-pairs" -> `All_pairs
       | other ->
         Printf.eprintf "unknown batch property %s\n" other;
@@ -280,55 +389,7 @@ let verify_cmd =
       if portfolio then List.map (fun q -> Engine.portfolio ?timeout enc q) queries
       else Engine.run ~jobs ?timeout enc queries
     in
-    let total_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
-    let code = MS.Verify.Report.exit_code reports in
-    (match format with
-     | `Json -> print_endline (MS.Verify.Report.list_to_json reports)
-     | `Text ->
-       let count p = List.length (List.filter p reports) in
-       List.iter
-         (fun (r : MS.Verify.Report.t) ->
-           let display =
-             match r.MS.Verify.Report.verdict with
-             | MS.Verify.Report.Verified -> "verified"
-             | MS.Verify.Report.Violated _ -> "VIOLATED"
-             | MS.Verify.Report.Timeout -> "TIMEOUT"
-             | MS.Verify.Report.Error _ -> "ERROR"
-           in
-           let tag =
-             match r.MS.Verify.Report.strategy with
-             | Some s -> Printf.sprintf "  [%s]" s
-             | None ->
-               if r.MS.Verify.Report.worker > 0 then
-                 Printf.sprintf "  [w%d]" r.MS.Verify.Report.worker
-               else ""
-           in
-           let cert_tag =
-             match r.MS.Verify.Report.certificate with
-             | MS.Verify.Report.Uncertified -> ""
-             | MS.Verify.Report.Checked_unsat_proof { clauses; lemmas; _ } ->
-               Printf.sprintf "  [proof: %d clauses, %d lemmas]" clauses lemmas
-             | MS.Verify.Report.Checked_model -> "  [model replayed]"
-             | MS.Verify.Report.Certification_failed _ -> "  [CERTIFICATION FAILED]"
-           in
-           Printf.printf "  %-36s %-9s %8.1f ms%s%s\n%!" r.MS.Verify.Report.label display
-             r.MS.Verify.Report.wall_ms tag cert_tag;
-           (match r.MS.Verify.Report.certificate with
-            | MS.Verify.Report.Certification_failed msg ->
-              Printf.printf "    certification: %s\n" msg
-            | _ -> ());
-           match r.MS.Verify.Report.verdict with
-           | MS.Verify.Report.Violated cx -> print_string (MS.Counterexample.to_string cx)
-           | MS.Verify.Report.Error e -> Printf.printf "    error: %s\n" e
-           | _ -> ())
-         reports;
-       let is v (r : MS.Verify.Report.t) =
-         MS.Verify.Report.verdict_name r.MS.Verify.Report.verdict = v
-       in
-       Printf.printf "%d queries in %.1f ms (%d verified, %d violated, %d timeout, %d error)\n"
-         (List.length reports) total_ms (count (is "verified")) (count (is "violated"))
-         (count (is "timeout")) (count (is "error")));
-    exit code
+    finish t0 reports
   in
   let man =
     [
@@ -345,8 +406,8 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~man ~doc:"Verify a property of a configuration.")
     Term.(
       const run $ file_arg $ property $ sources $ dst_device $ dst_prefix $ bound $ devices
-      $ max_len $ failures $ naive $ slice $ no_lint $ allowed $ batch $ jobs $ timeout
-      $ portfolio $ format $ certify $ symmetry)
+      $ max_len $ failures $ max_failures $ naive $ slice $ no_lint $ allowed $ batch $ jobs
+      $ timeout $ portfolio $ format $ certify $ symmetry)
 
 (* ---- lint ---- *)
 
@@ -423,20 +484,23 @@ let gen_cmd =
   let hijack = Arg.(value & flag & info [ "hijack" ] ~doc:"Inject the management-hijack bug.") in
   let acl_gap = Arg.(value & flag & info [ "acl-gap" ] ~doc:"Inject the ACL-inconsistency bug.") in
   let deep = Arg.(value & flag & info [ "deep-drop" ] ~doc:"Inject the deep blackhole bug.") in
-  let run kind pods routers seed hijack acl_gap deep =
+  let single_homed =
+    Arg.(value & flag & info [ "single-homed" ] ~doc:"Inject the single-homed-rack bug.")
+  in
+  let run kind pods routers seed hijack acl_gap deep single_homed =
     let net =
       match kind with
       | `Fattree -> (Generators.Fattree.make ~pods).Generators.Fattree.network
       | `Enterprise ->
         (Generators.Enterprise.make ~seed ~routers
-           ~inject:{ Generators.Enterprise.hijack; acl_gap; deep_drop = deep }
+           ~inject:{ Generators.Enterprise.hijack; acl_gap; deep_drop = deep; single_homed }
            ())
           .Generators.Enterprise.network
     in
     print_string (Config.Printer.network_to_string net)
   in
   Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic network configuration.")
-    Term.(const run $ kind $ pods $ routers $ seed $ hijack $ acl_gap $ deep)
+    Term.(const run $ kind $ pods $ routers $ seed $ hijack $ acl_gap $ deep $ single_homed)
 
 (* ---- serve ---- *)
 

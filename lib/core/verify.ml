@@ -52,6 +52,13 @@ module Report = struct
     | Checked_model
     | Certification_failed of string
 
+  (* Which path produced a fault-invariance verdict: [Graph] the
+     lib/faults min-cut fast path over the simulator's converged
+     routes, [Smt] the full two-copy encoding, [Fallback] the SMT
+     encoding reached because the graph path declined to decide.
+     [None] on queries outside the fault workload. *)
+  type meth = Graph | Smt | Fallback
+
   type t = {
     label : string;
     verdict : verdict;
@@ -71,6 +78,9 @@ module Report = struct
     replayed : bool;
         (* the verdict was replayed from a cache (core-disjoint delta
            re-verification), not produced by a solver run *)
+    method_ : meth option;
+        (* which fault-workload path answered; plain data, so it
+           survives marshalling across the {!Engine} worker boundary *)
   }
 
   (* The JSON schema version stamped on every report, bench file and
@@ -89,6 +99,8 @@ module Report = struct
     | Checked_unsat_proof _ -> "checked_unsat_proof"
     | Checked_model -> "checked_model"
     | Certification_failed _ -> "certification_failed"
+
+  let method_name = function Graph -> "graph" | Smt -> "smt" | Fallback -> "fallback"
 
   let of_outcome = function Holds -> Verified | Violation cx -> Violated cx
 
@@ -147,6 +159,9 @@ module Report = struct
      | Some s -> Buffer.add_string buf (Printf.sprintf ",\"strategy\":\"%s\"" (json_escape s))
      | None -> ());
     if r.replayed then Buffer.add_string buf ",\"replayed\":true";
+    (match r.method_ with
+     | Some m -> Buffer.add_string buf (Printf.sprintf ",\"method\":\"%s\"" (method_name m))
+     | None -> ());
     (match r.support with
      | Some devs ->
        Buffer.add_string buf
@@ -271,6 +286,7 @@ let run_query enc (q : Query.t) : Report.t =
       strategy = None;
       support = None;
       replayed = false;
+      method_ = None;
     }
   in
   let solver = solve_assertions enc (q.Query.prop enc) in
@@ -464,6 +480,7 @@ module Session = struct
       strategy = None;
       support = (match verdict with Report.Verified -> s.last_support | _ -> None);
       replayed = false;
+      method_ = None;
     }
 
   let run s queries = List.map (run_one s) queries
@@ -541,7 +558,10 @@ let equivalent ?timeout net1 net2 opts =
   two_copy_check ?timeout ~label:"equivalent" enc1 enc2 ~extra_assumptions:[]
     ~goal:(T.and_ (fwd_equal @ exports_equal))
 
-let fault_invariant ?timeout net opts ~k ~sources dest =
+let fault_invariant_query ?timeout ?label net opts ~k ~sources dest =
+  let label =
+    match label with Some l -> l | None -> Printf.sprintf "fault-invariant k=%d" k
+  in
   (* same two-copy argument as [equivalent]; the failure copy would bail
      out anyway ([max_failures] disables the reduction) but the healthy
      copy must match it device-for-device *)
@@ -565,7 +585,12 @@ let fault_invariant ?timeout net opts ~k ~sources dest =
       goal;
     }
   in
-  run_query enc1 (Query.of_property ?timeout "fault-invariant" prop)
+  (enc1, Query.of_property ?timeout label prop)
+
+let fault_invariant ?timeout ?label net opts ~k ~sources dest =
+  let enc1, q = fault_invariant_query ?timeout ?label net opts ~k ~sources dest in
+  let r = run_query enc1 q in
+  { r with Report.method_ = Some Report.Smt }
 
 (* -- the versioned serve protocol ------------------------------------------- *)
 

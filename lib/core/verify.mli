@@ -61,6 +61,13 @@ module Report : sig
     | Checked_model
     | Certification_failed of string
 
+  (** Which path of the fault-invariance workload produced the verdict:
+      [Graph] the {!Faults} min-cut fast path over the simulator's
+      converged routes, [Smt] the full two-copy encoding, [Fallback]
+      the SMT encoding reached after the graph path declined to
+      decide.  Absent on queries outside the fault workload. *)
+  type meth = Graph | Smt | Fallback
+
   type t = {
     label : string;
     verdict : verdict;
@@ -81,6 +88,9 @@ module Report : sig
     replayed : bool;
         (** the verdict was replayed from a cache (core-disjoint delta
             re-verification), not produced by a solver run *)
+    method_ : meth option;
+        (** which fault-workload path answered ([method] is an OCaml
+            keyword; the JSON key is ["method"]) *)
   }
 
   val schema_version : int
@@ -94,6 +104,9 @@ module Report : sig
   val certificate_name : certificate -> string
   (** ["uncertified" | "checked_unsat_proof" | "checked_model" |
       "certification_failed"]. *)
+
+  val method_name : meth -> string
+  (** ["graph" | "smt" | "fallback"]. *)
 
   val of_outcome : outcome -> verdict
 
@@ -207,6 +220,7 @@ val equivalent : ?timeout:float -> Config.Ast.network -> Config.Ast.network -> O
 
 val fault_invariant :
   ?timeout:float ->
+  ?label:string ->
   Config.Ast.network ->
   Options.t ->
   k:int ->
@@ -215,7 +229,24 @@ val fault_invariant :
   Report.t
 (** Fault-invariance testing (§5): reachability of the destination from
     each source is identical between a failure-free copy and a copy
-    with up to [k] failures. *)
+    with up to [k] failures of internal links (cardinality-bounded
+    per-link failure variables; a [Violated] counterexample's
+    [failures] field names the failed-link set).  [label] defaults to
+    ["fault-invariant k=<k>"]; the report is stamped [method_ = Smt]. *)
+
+val fault_invariant_query :
+  ?timeout:float ->
+  ?label:string ->
+  Config.Ast.network ->
+  Options.t ->
+  k:int ->
+  sources:string list ->
+  Property.destination ->
+  Encode.t * Query.t
+(** The two-copy encoding and query behind {!fault_invariant}, exposed
+    so other paths (the {!Engine} portfolio, the {!Faults} hybrid) can
+    answer the same property on their own solvers: run the query
+    against the returned healthy-copy encoding. *)
 
 (** The versioned line-JSON protocol of the serve daemon
     ([minesweeper_cli serve], the {!Serve} library).

@@ -2,9 +2,15 @@ module A = Config.Ast
 module P = Net.Prefix
 module Ip = Net.Ipv4
 
-type inject = { hijack : bool; acl_gap : bool; deep_drop : bool }
+type inject = {
+  hijack : bool;
+  acl_gap : bool;
+  deep_drop : bool;
+  single_homed : bool;
+}
 
-let no_bugs = { hijack = false; acl_gap = false; deep_drop = false }
+let no_bugs =
+  { hijack = false; acl_gap = false; deep_drop = false; single_homed = false }
 
 type t = {
   network : A.network;
@@ -140,13 +146,19 @@ let make ?bulk ~seed ~routers ~inject () =
         edge_names)
     core_names;
   (* racks are dual-homed so that no single link failure partitions the
-     network (the fleet must be fault-invariant, as in §8.1) *)
+     network (the fleet must be fault-invariant, as in §8.1) — except
+     under the single-homed injection, which quietly drops the last
+     rack's redundant uplink: the fabric still claims 1-failure
+     resilience, but failing that rack's one remaining link partitions
+     its subnet (the §8 fault-invariance violation class) *)
   List.iteri
     (fun i r ->
       let c = List.nth core_names (i mod cores) in
       ignore (connect ~core_to_rack:true c r);
-      if cores >= 2 then ignore (connect (List.nth core_names ((i + 1) mod cores)) r)
-      else if edges = 2 then ignore (connect (edge 1) r))
+      if not (inject.single_homed && i = racks - 1) then begin
+        if cores >= 2 then ignore (connect (List.nth core_names ((i + 1) mod cores)) r)
+        else if edges = 2 then ignore (connect (edge 1) r)
+      end)
     rack_names;
   (* management interfaces *)
   let mgmt = Hashtbl.create 32 in
@@ -413,13 +425,15 @@ let fleet () =
         if i < 67 then { no_bugs with hijack = true }
         else if i < 96 then { no_bugs with acl_gap = true }
         else if i < 120 then { no_bugs with deep_drop = true }
+        else if i < 136 then { no_bugs with single_homed = true }
         else no_bugs
       in
       (* sizes spread deterministically over 4..25; a minimum of 4
          routers keeps every network link-redundant (the paper's fleet
-         is fault-invariant) *)
+         is fault-invariant, except the injected single-homed class) *)
       let routers = 4 + (i * 17 mod 22) in
       (* ACL-gap networks need two racks, deep drops one *)
       let routers = if inject.acl_gap then max routers 8 else routers in
       let routers = if inject.deep_drop then max routers 5 else routers in
+      let routers = if inject.single_homed then max routers 5 else routers in
       make ~seed:(1000 + i) ~routers ~inject ())

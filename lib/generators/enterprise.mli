@@ -4,7 +4,7 @@
     static routes, per-role ACLs, route redistribution, and management
     interfaces on every device.
 
-    Three §8.1 violation classes can be injected:
+    Four §8 violation classes can be injected:
     - [hijack]: an edge router's import policy fails to protect the
       management address space, so an external announcement of a more
       specific prefix diverts management traffic;
@@ -12,9 +12,18 @@
       peers have (copy-paste inconsistency ⇒ local-equivalence
       violation);
     - [deep_drop]: a bogon filter is enforced in the network core
-      instead of at the edge (blackhole violation). *)
+      instead of at the edge (blackhole violation);
+    - [single_homed]: the last rack quietly loses its redundant uplink
+      behind a fabric that claims 1-failure resilience, so one link
+      failure partitions its subnet (fault-invariance violation; needs
+      at least 5 routers so a rack exists). *)
 
-type inject = { hijack : bool; acl_gap : bool; deep_drop : bool }
+type inject = {
+  hijack : bool;
+  acl_gap : bool;
+  deep_drop : bool;
+  single_homed : bool;
+}
 
 val no_bugs : inject
 
@@ -33,5 +42,6 @@ val make : ?bulk:int -> seed:int -> routers:int -> inject:inject -> unit -> t
 
 val fleet : unit -> t list
 (** The 152-network benchmark fleet with the §8.1 violation
-    distribution: 67 hijacks, 29 ACL inconsistencies, 24 deep drops, 32
-    clean networks.  Deterministic. *)
+    distribution plus the fault-invariance class: 67 hijacks, 29 ACL
+    inconsistencies, 24 deep drops, 16 single-homed racks, 16 clean
+    networks.  Deterministic. *)

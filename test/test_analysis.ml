@@ -393,7 +393,7 @@ let test_slice_differential () =
   Alcotest.(check bool) "fattree verdicts agree" plain sliced;
   let ent =
     (Generators.Enterprise.make ~seed:3 ~routers:6
-       ~inject:{ Generators.Enterprise.hijack = false; acl_gap = false; deep_drop = false }
+       ~inject:{ Generators.Enterprise.hijack = false; acl_gap = false; deep_drop = false; single_homed = false }
        ())
       .Generators.Enterprise.network
   in

@@ -191,7 +191,7 @@ let test_roundtrip_generators () =
       ("fattree pods=4", (Generators.Fattree.make ~pods:4).Generators.Fattree.network);
       ( "enterprise",
         (Generators.Enterprise.make ~seed:7 ~routers:8
-           ~inject:{ Generators.Enterprise.hijack = false; acl_gap = false; deep_drop = false }
+           ~inject:{ Generators.Enterprise.hijack = false; acl_gap = false; deep_drop = false; single_homed = false }
            ())
           .Generators.Enterprise.network );
     ]

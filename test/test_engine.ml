@@ -82,7 +82,7 @@ let test_enterprise_clean () =
 let test_enterprise_hijack () =
   let t =
     G.Enterprise.make ~seed:5 ~routers:8
-      ~inject:{ G.Enterprise.hijack = true; acl_gap = false; deep_drop = false }
+      ~inject:{ G.Enterprise.hijack = true; acl_gap = false; deep_drop = false; single_homed = false }
       ()
   in
   differential "enterprise hijack" t.G.Enterprise.network (enterprise_queries t)
@@ -338,6 +338,7 @@ let mk label verdict =
     strategy = None;
     support = None;
     replayed = false;
+    method_ = None;
   }
 
 let test_exit_codes () =

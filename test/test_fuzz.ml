@@ -213,6 +213,102 @@ let prop_fattree =
       check_one "fattree" seed net ~src ~dest_device:dst_tor
         ~dest_prefix:(ft.G.Fattree.tor_subnet dst_tor))
 
+(* ---- fault invariance vs brute-force failure enumeration ---- *)
+
+(* All subsets of size <= k, as lists. *)
+let rec subsets_leq k = function
+  | [] -> [ [] ]
+  | _ when k = 0 -> [ [] ]
+  | x :: rest ->
+    let without = subsets_leq k rest in
+    let with_x = List.map (fun s -> x :: s) (subsets_leq (k - 1) rest) in
+    without @ with_x
+
+let canonical_pairs net =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (l : Net.Topology.link) ->
+      let a = l.Net.Topology.a.Net.Topology.device
+      and b = l.Net.Topology.b.Net.Topology.device in
+      Hashtbl.replace seen (if a < b then (a, b) else (b, a)) ())
+    (Net.Topology.links net.A.net_topology);
+  Hashtbl.fold (fun p () acc -> p :: acc) seen []
+
+(* The ground truth on a small topology: enumerate every failure set of
+   size <= k and ask the concrete simulator whether any of them changes
+   some source's reachability of the destination subnet.  The pods=2
+   fat tree has 4 internal links, so the enumeration stays tiny. *)
+let prop_fault_brute =
+  QCheck.Test.make ~name:"fault-invariance vs brute-force failure enumeration"
+    ~count:fuzz_count
+    (QCheck.make QCheck.Gen.(pair (int_range 0 99999) (int_range 0 2)))
+    (fun (seed, k) ->
+      let ft = G.Fattree.make ~pods:2 in
+      let net = ft.G.Fattree.network in
+      (* pre-drop a random link subset of size <= k so the checked
+         topologies are not all the pristine fabric *)
+      let drops = seed mod (k + 1) in
+      let net =
+        List.fold_left (fun n i -> drop_link (seed / (i + 2)) n) net (List.init drops Fun.id)
+      in
+      let dst_tor = List.hd ft.G.Fattree.tors in
+      let dest_prefix = ft.G.Fattree.tor_subnet dst_tor in
+      let dest = MS.Property.Subnet (dst_tor, dest_prefix) in
+      let sources = List.map (fun (d : A.device) -> d.A.dev_name) net.A.net_devices in
+      let label = Printf.sprintf "fault-brute seed %d k %d (%d pre-dropped)" seed k drops in
+      match MS.Verify.fault_invariant net MS.Options.default ~k ~sources dest with
+      | exception Analysis.Lint.Lint_errors _ -> true
+      | r ->
+        let dst_ip = Net.Prefix.first dest_prefix in
+        let state0 = Routing.Simulator.run net Routing.Simulator.empty_env in
+        if not (Routing.Simulator.converged state0) then true
+        else begin
+          let healthy =
+            List.map
+              (fun s -> (s, Routing.Dataplane.reachable net state0 ~src:s ~dst:dst_ip))
+              sources
+          in
+          let broken_by fails =
+            let env = { Routing.Simulator.external_ads = []; failed_links = fails } in
+            let state = Routing.Simulator.run net env in
+            Routing.Simulator.converged state
+            && List.exists
+                 (fun (s, was) ->
+                   Routing.Dataplane.reachable net state ~src:s ~dst:dst_ip <> was)
+                 healthy
+          in
+          let oracle_broken = List.exists broken_by (subsets_leq k (canonical_pairs net)) in
+          (match r.MS.Verify.Report.verdict with
+           | MS.Verify.Report.Verified ->
+             (* Verified quantifies over every environment and failure
+                set, so the concrete enumeration must find nothing *)
+             if oracle_broken then
+               QCheck.Test.fail_reportf
+                 "%s: SMT says invariant, brute-force enumeration breaks it" label
+           | MS.Verify.Report.Violated _ ->
+             (* the SMT counterexample may use an adversarial routing
+                environment; only graph-eligible networks pin verdicts
+                to pure connectivity, where the empty-environment
+                enumeration is exact *)
+             if (not oracle_broken) && Result.is_ok (Faults.eligible net dest) then
+               QCheck.Test.fail_reportf
+                 "%s: SMT says broken on a graph-eligible net, enumeration of all <=%d-subsets \
+                  disagrees"
+                 label k
+           | MS.Verify.Report.Timeout | MS.Verify.Report.Error _ ->
+             QCheck.Test.fail_reportf "%s: query timed out or errored" label);
+          (* the graph fast path, when it decides, must match the oracle *)
+          (match Faults.analyze net ~k ~sources dest with
+           | Faults.Invariant ->
+             if oracle_broken then
+               QCheck.Test.fail_reportf "%s: graph path says invariant, oracle disagrees" label
+           | Faults.Broken _ ->
+             if not oracle_broken then
+               QCheck.Test.fail_reportf "%s: graph path says broken, oracle disagrees" label
+           | Faults.Undecided _ -> ());
+          true
+        end)
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -220,5 +316,6 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_enterprise;
           QCheck_alcotest.to_alcotest prop_fattree;
+          QCheck_alcotest.to_alcotest prop_fault_brute;
         ] );
     ]

@@ -62,6 +62,34 @@ let test_enterprise_deep_drop () =
   Alcotest.(check bool) "deep blackhole found" true (violated (blackhole_check t));
   Alcotest.(check bool) "mgmt unaffected" false (violated (mgmt_reachable t))
 
+let fault_check (t : G.Enterprise.t) ~k =
+  let net = t.G.Enterprise.network in
+  let devices = List.map (fun (d : A.device) -> d.A.dev_name) net.A.net_devices in
+  let target = List.hd (List.rev t.G.Enterprise.rack_role) in
+  MS.Verify.Report.to_outcome
+    (MS.Verify.fault_invariant net MS.Options.default ~k ~sources:devices
+       (MS.Property.Subnet (target, t.G.Enterprise.rack_subnet target)))
+
+let test_enterprise_single_homed () =
+  let t = make { G.Enterprise.no_bugs with single_homed = true } in
+  Alcotest.(check bool) "one failure partitions the last rack" true
+    (violated (fault_check t ~k:1));
+  Alcotest.(check bool) "mgmt unaffected" false (violated (mgmt_reachable t));
+  (* the dual-homed fleet rides out any single failure *)
+  let clean = make G.Enterprise.no_bugs in
+  Alcotest.(check bool) "clean net is 1-fault invariant" false
+    (violated (fault_check clean ~k:1))
+
+let test_fleet_split () =
+  let fleet = G.Enterprise.fleet () in
+  Alcotest.(check int) "152 networks" 152 (List.length fleet);
+  let count f = List.length (List.filter (fun t -> f t.G.Enterprise.injected) fleet) in
+  Alcotest.(check int) "67 hijacks" 67 (count (fun i -> i.G.Enterprise.hijack));
+  Alcotest.(check int) "29 acl gaps" 29 (count (fun i -> i.G.Enterprise.acl_gap));
+  Alcotest.(check int) "24 deep drops" 24 (count (fun i -> i.G.Enterprise.deep_drop));
+  Alcotest.(check int) "16 single-homed" 16 (count (fun i -> i.G.Enterprise.single_homed));
+  Alcotest.(check int) "16 clean" 16 (count (fun i -> i = G.Enterprise.no_bugs))
+
 let test_enterprise_config_size () =
   let small = G.Enterprise.make ~bulk:8 ~seed:1 ~routers:2 ~inject:G.Enterprise.no_bugs () in
   let big = G.Enterprise.make ~bulk:600 ~seed:1 ~routers:25 ~inject:G.Enterprise.no_bugs () in
@@ -135,6 +163,8 @@ let () =
           Alcotest.test_case "hijack" `Quick test_enterprise_hijack;
           Alcotest.test_case "acl gap" `Quick test_enterprise_acl_gap;
           Alcotest.test_case "deep drop" `Quick test_enterprise_deep_drop;
+          Alcotest.test_case "single-homed rack" `Quick test_enterprise_single_homed;
+          Alcotest.test_case "fleet split" `Quick test_fleet_split;
           Alcotest.test_case "config size" `Quick test_enterprise_config_size;
         ] );
       ( "fattree",

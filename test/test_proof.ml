@@ -284,6 +284,7 @@ let test_exit_code_4 () =
       strategy = None;
       support = None;
       replayed = false;
+      method_ = None;
     }
   in
   let ok = mk "a" MS.Verify.Report.Verified MS.Verify.Report.Checked_model in

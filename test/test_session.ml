@@ -91,7 +91,7 @@ let test_enterprise_clean () =
 let test_enterprise_hijack () =
   let t =
     G.Enterprise.make ~seed:5 ~routers:8
-      ~inject:{ G.Enterprise.hijack = true; acl_gap = false; deep_drop = false }
+      ~inject:{ G.Enterprise.hijack = true; acl_gap = false; deep_drop = false; single_homed = false }
       ()
   in
   differential "enterprise hijack" t.G.Enterprise.network (enterprise_props t)
@@ -99,7 +99,7 @@ let test_enterprise_hijack () =
 let test_enterprise_acl_gap () =
   let t =
     G.Enterprise.make ~seed:7 ~routers:8
-      ~inject:{ G.Enterprise.hijack = false; acl_gap = true; deep_drop = false }
+      ~inject:{ G.Enterprise.hijack = false; acl_gap = true; deep_drop = false; single_homed = false }
       ()
   in
   differential "enterprise acl-gap" t.G.Enterprise.network (enterprise_props t)
@@ -107,7 +107,7 @@ let test_enterprise_acl_gap () =
 let test_enterprise_deep_drop () =
   let t =
     G.Enterprise.make ~seed:11 ~routers:8
-      ~inject:{ G.Enterprise.hijack = false; acl_gap = false; deep_drop = true }
+      ~inject:{ G.Enterprise.hijack = false; acl_gap = false; deep_drop = true; single_homed = false }
       ()
   in
   differential "enterprise deep-drop" t.G.Enterprise.network (enterprise_props t)

@@ -220,6 +220,42 @@ let test_exactly () =
   let count = List.length (List.filter (Model.bool_value m) vars) in
   Alcotest.(check int) "exactly 3" 3 count
 
+(* The boundaries the failure-variable encoding leans on: k = 0 freezes
+   every variable, k = n is a tautology, and the threshold is exact —
+   forcing m variables true is UNSAT at bound m-1 and SAT at bound m. *)
+let test_at_most_boundaries () =
+  let n = 6 in
+  let vars = List.init n (fun i -> T.var (Printf.sprintf "amb_%d" i) Sort.Bool) in
+  let m = model_exn (T.at_most 0 vars) in
+  List.iteri
+    (fun i v ->
+      Alcotest.(check bool) (Printf.sprintf "k=0 forces amb_%d false" i) false
+        (Model.bool_value m v))
+    vars;
+  check_unsat "k=0 with one forced" (T.and_ [ T.at_most 0 vars; List.nth vars 3 ]);
+  check_sat "k=n admits all true" (T.and_ (T.at_most n vars :: vars));
+  let forced = [ List.nth vars 0; List.nth vars 2; List.nth vars 5 ] in
+  check_unsat "3 forced, bound 2" (T.and_ (T.at_most 2 vars :: forced));
+  check_sat "3 forced, bound 3" (T.and_ (T.at_most 3 vars :: forced))
+
+(* UNSAT verdicts over cardinality clauses must replay through the
+   independent proof checker (this is what --certify leans on once the
+   encoding carries per-link failure variables). *)
+let test_at_most_proof () =
+  let s = Solver.create ~certify:true () in
+  let vars = List.init 4 (fun i -> T.var (Printf.sprintf "amp_%d" i) Sort.Bool) in
+  Solver.assert_term s (T.at_most 1 vars);
+  Solver.assert_term s (List.nth vars 0);
+  Solver.assert_term s (List.nth vars 2);
+  (match Solver.check s with
+   | Solver.Unsat -> ()
+   | Solver.Sat _ -> Alcotest.fail "2 forced against bound 1 must be unsat");
+  match Proof.Certify.unsat s with
+  | Ok summary ->
+    Alcotest.(check bool) "the trace derives clauses" true
+      (summary.Proof.Certify.clauses > 0)
+  | Error e -> Alcotest.failf "cardinality proof rejected: %s" e
+
 (* -- mixed theories ------------------------------------------------------------------ *)
 
 let test_mixed () =
@@ -447,6 +483,8 @@ let () =
         [
           Alcotest.test_case "at_most" `Quick test_at_most;
           Alcotest.test_case "exactly" `Quick test_exactly;
+          Alcotest.test_case "at_most boundaries" `Quick test_at_most_boundaries;
+          Alcotest.test_case "at_most proof replay" `Quick test_at_most_proof;
         ] );
       ("mixed", [ Alcotest.test_case "bool+idl+lra" `Quick test_mixed ]);
       ( "incremental",

@@ -93,7 +93,7 @@ let test_enterprise_grid () =
   (* hijack injected: the grid must agree on violations too *)
   let t =
     G.Enterprise.make ~seed:5 ~routers:8
-      ~inject:{ G.Enterprise.hijack = true; acl_gap = false; deep_drop = false }
+      ~inject:{ G.Enterprise.hijack = true; acl_gap = false; deep_drop = false; single_homed = false }
       ()
   in
   let net = t.G.Enterprise.network in
@@ -316,7 +316,7 @@ let strategy_grid name net (props : (string * (MS.Encode.t -> MS.Property.t)) li
 let test_enterprise_strategy_grid () =
   let t =
     G.Enterprise.make ~seed:5 ~routers:8
-      ~inject:{ G.Enterprise.hijack = true; acl_gap = false; deep_drop = false }
+      ~inject:{ G.Enterprise.hijack = true; acl_gap = false; deep_drop = false; single_homed = false }
       ()
   in
   let net = t.G.Enterprise.network in
